@@ -1,0 +1,90 @@
+//! Pluggable GEMM execution backends.
+//!
+//! The paper's layer declaration routes GEMMs to CPU emulation or to
+//! the FPGA by a `device` parameter (Fig. 3). [`GemmBackend`] is that
+//! seam: the training stack (`mpt-nn`) calls whatever backend its
+//! graph was given, and `mpt-fpga`'s accelerator implements the trait
+//! — with results guaranteed bit-identical to [`CpuBackend`].
+
+use crate::qgemm::{QGemmConfig};
+use crate::parallel::qgemm_parallel;
+use mpt_tensor::{ShapeError, Tensor};
+
+/// An executor for custom-precision GEMMs.
+///
+/// Implementations must be *numerically equivalent* to the emulation
+/// kernel: for any inputs and configuration, `gemm` returns exactly
+/// the same bits as [`crate::qgemm`]. The accelerator simulator in
+/// `mpt-fpga` satisfies this (asserted by integration tests) while
+/// additionally accounting its cycle-level latency.
+pub trait GemmBackend {
+    /// Computes `a · b` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] for non-conforming operands.
+    fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError>;
+
+    /// A short label for diagnostics (e.g. `"cpu"`, `"fpga<8,8,4>"`).
+    fn label(&self) -> String {
+        "backend".into()
+    }
+}
+
+/// The default backend: multi-threaded bit-accurate CPU emulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuBackend {
+    threads: Option<usize>,
+}
+
+impl CpuBackend {
+    /// A backend using all available cores.
+    pub fn new() -> Self {
+        CpuBackend { threads: None }
+    }
+
+    /// A backend with an explicit worker count (results are identical
+    /// for any count).
+    pub fn with_threads(threads: usize) -> Self {
+        CpuBackend { threads: Some(threads) }
+    }
+}
+
+impl GemmBackend for CpuBackend {
+    fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        qgemm_parallel(a, b, cfg, threads)
+    }
+
+    fn label(&self) -> String {
+        "cpu".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qgemm::qgemm;
+
+    #[test]
+    fn cpu_backend_matches_kernel() {
+        let a = Tensor::from_fn(vec![7, 9], |i| ((i * 13 % 17) as f32 - 8.0) * 0.1);
+        let b = Tensor::from_fn(vec![9, 5], |i| ((i * 11 % 13) as f32 - 6.0) * 0.1);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(4);
+        let backend = CpuBackend::new();
+        assert_eq!(backend.gemm(&a, &b, &cfg).unwrap(), qgemm(&a, &b, &cfg).unwrap());
+        assert_eq!(backend.label(), "cpu");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let a = Tensor::from_fn(vec![13, 9], |i| ((i * 13 % 17) as f32 - 8.0) * 0.1);
+        let b = Tensor::from_fn(vec![9, 5], |i| ((i * 11 % 13) as f32 - 6.0) * 0.1);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(4);
+        let one = CpuBackend::with_threads(1).gemm(&a, &b, &cfg).unwrap();
+        let many = CpuBackend::with_threads(8).gemm(&a, &b, &cfg).unwrap();
+        assert_eq!(one, many);
+    }
+}

@@ -1,0 +1,138 @@
+//! Multi-threaded custom-precision GEMM.
+//!
+//! Emulating custom precision on CPUs is the slow path the paper
+//! calls out ("training tasks on CPU can be notably slow",
+//! Section III); this module parallelizes the emulation kernel over
+//! output-row blocks with `std::thread::scope`. Because every rounding
+//! event is indexed by logical coordinates (see
+//! [`crate::sr_event_index`]), the result is bit-identical to the
+//! sequential kernel for any thread count.
+
+use crate::qgemm::{qgemm_with_offsets, QGemmConfig};
+use mpt_tensor::{ShapeError, Tensor};
+
+/// Computes `A · B` under `cfg` using up to `threads` worker threads.
+///
+/// Bit-identical to [`crate::qgemm`] — row blocks are computed with
+/// their global row offsets so stochastic rounding draws the same
+/// bits.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as
+/// [`crate::qgemm`].
+pub fn qgemm_parallel(
+    a: &Tensor,
+    b: &Tensor,
+    cfg: &QGemmConfig,
+    threads: usize,
+) -> Result<Tensor, ShapeError> {
+    let (n, k) = a.as_matrix()?;
+    let (k2, m) = b.as_matrix()?;
+    if k != k2 {
+        return Err(ShapeError::Mismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "qgemm_parallel",
+        });
+    }
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n == 0 {
+        return qgemm_with_offsets(a, b, cfg, 0, 0);
+    }
+
+    let rows_per = n.div_ceil(threads);
+    let mut results: Vec<Option<Result<Tensor, ShapeError>>> = Vec::new();
+    results.resize_with(threads, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start = t * rows_per;
+            let end = ((t + 1) * rows_per).min(n);
+            if start >= end {
+                continue;
+            }
+            let block = a.slice_rows(start, end).expect("in range");
+            let b_ref = &*b;
+            let cfg_ref = &*cfg;
+            handles.push((
+                t,
+                scope.spawn(move || qgemm_with_offsets(&block, b_ref, cfg_ref, start, 0)),
+            ));
+        }
+        for (t, h) in handles {
+            results[t] = Some(h.join().expect("worker panicked"));
+        }
+    });
+
+    let blocks: Result<Vec<Tensor>, ShapeError> = results.into_iter().flatten().collect();
+    let blocks = blocks?;
+    if blocks.is_empty() {
+        return Ok(Tensor::zeros(vec![0, m]));
+    }
+    Tensor::concat_rows(&blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qgemm::qgemm;
+
+    fn operands(n: usize, k: usize, m: usize) -> (Tensor, Tensor) {
+        (
+            Tensor::from_fn(vec![n, k], |i| ((i * 37 % 41) as f32 - 20.0) * 0.05),
+            Tensor::from_fn(vec![k, m], |i| ((i * 43 % 47) as f32 - 23.0) * 0.04),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_fp32() {
+        let (a, b) = operands(33, 17, 9);
+        let cfg = QGemmConfig::fp32();
+        let seq = qgemm(&a, &b, &cfg).unwrap();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(qgemm_parallel(&a, &b, &cfg, threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_stochastic() {
+        // The important case: SR results must not depend on threading.
+        let (a, b) = operands(19, 23, 11);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(1234);
+        let seq = qgemm(&a, &b, &cfg).unwrap();
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                qgemm_parallel(&a, &b, &cfg, threads).unwrap(),
+                seq,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let (a, b) = operands(3, 5, 4);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(5);
+        assert_eq!(
+            qgemm_parallel(&a, &b, &cfg, 64).unwrap(),
+            qgemm(&a, &b, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Tensor::zeros(vec![0, 5]);
+        let b = Tensor::zeros(vec![5, 4]);
+        let c = qgemm_parallel(&a, &b, &QGemmConfig::fp32(), 4).unwrap();
+        assert_eq!(c.shape(), &[0, 4]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(vec![4, 5]);
+        let b = Tensor::zeros(vec![6, 4]);
+        assert!(qgemm_parallel(&a, &b, &QGemmConfig::fp32(), 2).is_err());
+    }
+}

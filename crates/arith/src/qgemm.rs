@@ -1,0 +1,293 @@
+//! The custom-precision GEMM emulation kernel.
+//!
+//! This mirrors the paper's Figure 2 computation flow for one GEMM:
+//! quantize the inputs, run every MAC in the configured formats, and
+//! cast the result back to FP32.
+
+use crate::mac::{mac_step, MacConfig};
+use mpt_formats::Quantizer;
+use mpt_tensor::{ShapeError, Tensor};
+use std::fmt;
+
+/// Full configuration of a custom-precision GEMM: input quantizers
+/// for both operands plus the MAC unit configuration.
+///
+/// # Example
+///
+/// ```
+/// use mpt_arith::QGemmConfig;
+///
+/// let cfg = QGemmConfig::fp8_fp12_sr().with_seed(42);
+/// assert!(cfg.to_string().contains("E6M5-SR"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QGemmConfig {
+    /// Quantizer applied to every element of `A` before compute.
+    pub quant_a: Quantizer,
+    /// Quantizer applied to every element of `B` before compute.
+    pub quant_b: Quantizer,
+    /// The MAC unit configuration.
+    pub mac: MacConfig,
+}
+
+impl QGemmConfig {
+    /// Creates a config from operand quantizers and a MAC.
+    pub fn new(quant_a: Quantizer, quant_b: Quantizer, mac: MacConfig) -> Self {
+        QGemmConfig { quant_a, quant_b, mac }
+    }
+
+    /// Builds a config whose operand quantizers match the MAC's
+    /// multiplier *format* with round-to-nearest input quantization —
+    /// the convention used throughout the paper's experiments (inputs
+    /// are quantized to the multiplier's operand format before the
+    /// GEMM).
+    pub fn for_mac(mac: MacConfig) -> Self {
+        let fmt = mac.mul.format();
+        let input = Quantizer::new(fmt, mpt_formats::Rounding::Nearest);
+        QGemmConfig { quant_a: input, quant_b: input, mac }
+    }
+
+    /// Full-precision FP32 GEMM (the emulation baseline).
+    pub fn fp32() -> Self {
+        QGemmConfig::for_mac(MacConfig::fp32())
+    }
+
+    /// The paper's headline configuration: FP8 (`E5M2`) operands,
+    /// fused multiplier, FP12 `E6M5-SR` accumulator.
+    pub fn fp8_fp12_sr() -> Self {
+        QGemmConfig::for_mac(MacConfig::fp8_fp12_sr())
+    }
+
+    /// Reseeds every stochastic stream in the configuration with
+    /// sub-seeds derived from `seed`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.quant_a = self.quant_a.with_seed(seed.wrapping_mul(4).wrapping_add(1));
+        self.quant_b = self.quant_b.with_seed(seed.wrapping_mul(4).wrapping_add(2));
+        self.mac = self.mac.with_seed(seed);
+        self
+    }
+
+    /// `true` if the whole pipeline passes FP32 through unchanged.
+    pub fn is_identity(&self) -> bool {
+        self.quant_a.is_identity() && self.quant_b.is_identity() && self.mac.is_identity()
+    }
+}
+
+impl fmt::Display for QGemmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A:{} B:{} MAC:{}", self.quant_a, self.quant_b, self.mac)
+    }
+}
+
+/// Computes `A · B` under `cfg`: `(n, k) × (k, m) → (n, m)`.
+///
+/// Inputs are quantized element-wise (rounding events indexed by flat
+/// position), then each output element is reduced over `k` in
+/// ascending order through [`mac_step`]. The result tensor carries
+/// FP32 values each exactly representable in the accumulator format.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operands are not rank-2 or the inner
+/// dimensions differ.
+pub fn qgemm(a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
+    qgemm_with_offsets(a, b, cfg, 0, 0)
+}
+
+/// [`qgemm`] with logical coordinate offsets.
+///
+/// The systolic-array simulator partitions `A` row-wise across cores;
+/// `row_offset`/`col_offset` let a core compute its tile while
+/// indexing stochastic-rounding events by *global* output coordinates,
+/// preserving bit-equality with the unpartitioned emulation.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`qgemm`].
+pub fn qgemm_with_offsets(
+    a: &Tensor,
+    b: &Tensor,
+    cfg: &QGemmConfig,
+    row_offset: usize,
+    col_offset: usize,
+) -> Result<Tensor, ShapeError> {
+    let (n, k) = a.as_matrix()?;
+    let (k2, m) = b.as_matrix()?;
+    if k != k2 {
+        return Err(ShapeError::Mismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "qgemm",
+        });
+    }
+    if cfg.is_identity() {
+        // Fast path: plain FP32 GEMM in the same reduction order.
+        return a.matmul(b);
+    }
+
+    let aq = quantize_matrix(a, &cfg.quant_a, row_offset, 0);
+    let bq = quantize_matrix(b, &cfg.quant_b, 0, col_offset);
+
+    let mut out = vec![0.0f32; n * m];
+    let ad = aq.data();
+    let bd = bq.data();
+    for i in 0..n {
+        let gi = i + row_offset;
+        for j in 0..m {
+            let gj = j + col_offset;
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc = mac_step(acc, ad[i * k + kk], bd[kk * m + j], &cfg.mac, gi, gj, kk);
+            }
+            out[i * m + j] = acc;
+        }
+    }
+    Tensor::from_vec(vec![n, m], out)
+}
+
+/// Quantizes a matrix operand, indexing each element's rounding event
+/// by its *global* `(row, col)` coordinate so partitioned tiles match
+/// the monolithic computation bit-for-bit.
+///
+/// Exposed for the systolic-array simulator in `mpt-fpga`, which must
+/// quantize operands identically to the emulation kernel.
+///
+/// # Panics
+///
+/// Panics if `t` is not a matrix.
+pub fn quantize_matrix(
+    t: &Tensor,
+    q: &Quantizer,
+    row_offset: usize,
+    col_offset: usize,
+) -> Tensor {
+    if q.is_identity() {
+        return t.clone();
+    }
+    let (r, c) = t.as_matrix().expect("operand is a matrix");
+    let mut out = t.clone();
+    let data = out.data_mut();
+    for i in 0..r {
+        for j in 0..c {
+            let idx = (((i + row_offset) as u64) << 24) | ((j + col_offset) as u64);
+            data[i * c + j] = q.quantize_f32(data[i * c + j], idx);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_formats::{FloatFormat, Rounding};
+
+    #[test]
+    fn fp32_config_matches_reference_matmul() {
+        let a = Tensor::from_fn(vec![7, 5], |i| ((i * 13) % 9) as f32 * 0.37 - 1.2);
+        let b = Tensor::from_fn(vec![5, 6], |i| ((i * 7) % 11) as f32 * 0.21 - 0.9);
+        let q = qgemm(&a, &b, &QGemmConfig::fp32()).unwrap();
+        let r = a.matmul(&b).unwrap();
+        assert_eq!(q, r, "identity config must take the exact same path");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 5]);
+        assert!(qgemm(&a, &b, &QGemmConfig::fp32()).is_err());
+    }
+
+    #[test]
+    fn quantized_inputs_are_used() {
+        // 1.1 quantizes to 1.0 in E5M2 under RN (1.1 is closer to 1.0
+        // than 1.25); the product must therefore be exactly 1.0.
+        let cfg = QGemmConfig::for_mac(MacConfig::new(
+            Quantizer::float(FloatFormat::e5m2(), Rounding::NoRound),
+            Quantizer::identity(),
+        ));
+        let a = Tensor::from_vec(vec![1, 1], vec![1.1]).unwrap();
+        let b = Tensor::from_vec(vec![1, 1], vec![1.0]).unwrap();
+        assert_eq!(qgemm(&a, &b, &cfg).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    fn accumulator_format_bounds_output() {
+        // With an E6M5 accumulator, outputs are E6M5-representable.
+        let cfg = QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::Nearest));
+        let a = Tensor::from_fn(vec![4, 16], |i| ((i % 7) as f32 - 3.0) * 0.25);
+        let b = Tensor::from_fn(vec![16, 4], |i| ((i % 5) as f32 - 2.0) * 0.25);
+        let c = qgemm(&a, &b, &cfg).unwrap();
+        let e6m5 = FloatFormat::e6m5();
+        for &v in c.data() {
+            assert!(e6m5.is_representable(v as f64), "{v} not E6M5");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(99);
+        let a = Tensor::from_fn(vec![6, 9], |i| ((i * 31 % 23) as f32 - 11.0) * 0.13);
+        let b = Tensor::from_fn(vec![9, 5], |i| ((i * 17 % 19) as f32 - 9.0) * 0.11);
+        let c1 = qgemm(&a, &b, &cfg).unwrap();
+        let c2 = qgemm(&a, &b, &cfg).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Tensor::from_fn(vec![6, 9], |i| ((i * 31 % 23) as f32 - 11.0) * 0.13);
+        let b = Tensor::from_fn(vec![9, 5], |i| ((i * 17 % 19) as f32 - 9.0) * 0.11);
+        let c1 = qgemm(&a, &b, &QGemmConfig::fp8_fp12_sr().with_seed(1)).unwrap();
+        let c2 = qgemm(&a, &b, &QGemmConfig::fp8_fp12_sr().with_seed(2)).unwrap();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn row_partition_with_offsets_matches_monolithic() {
+        // Split A into two row blocks, compute each with the proper
+        // row offset, and compare against the full GEMM — the property
+        // the FPGA multicore partitioning depends on.
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(7);
+        let a = Tensor::from_fn(vec![8, 10], |i| ((i * 29 % 31) as f32 - 15.0) * 0.07);
+        let b = Tensor::from_fn(vec![10, 6], |i| ((i * 23 % 27) as f32 - 13.0) * 0.09);
+        let full = qgemm(&a, &b, &cfg).unwrap();
+        let top = qgemm_with_offsets(&a.slice_rows(0, 4).unwrap(), &b, &cfg, 0, 0).unwrap();
+        let bot = qgemm_with_offsets(&a.slice_rows(4, 8).unwrap(), &b, &cfg, 4, 0).unwrap();
+        let stitched = Tensor::concat_rows(&[top, bot]).unwrap();
+        assert_eq!(full, stitched);
+    }
+
+    #[test]
+    fn zero_padding_k_preserves_result() {
+        // Appending zero columns to A and zero rows to B (the HBM
+        // packing padding) must not change any output bit, including
+        // under stochastic rounding.
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(3);
+        let a = Tensor::from_fn(vec![5, 7], |i| ((i * 11 % 13) as f32 - 6.0) * 0.2);
+        let b = Tensor::from_fn(vec![7, 4], |i| ((i * 19 % 17) as f32 - 8.0) * 0.1);
+        let plain = qgemm(&a, &b, &cfg).unwrap();
+        let ap = a.pad_to(5, 12).unwrap();
+        let bp = b.pad_to(12, 4).unwrap();
+        let padded = qgemm(&ap, &bp, &cfg).unwrap();
+        assert_eq!(plain, padded, "k-padding changed bits");
+    }
+
+    #[test]
+    fn zero_padding_nm_preserves_cropped_result() {
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(3);
+        let a = Tensor::from_fn(vec![5, 7], |i| ((i * 11 % 13) as f32 - 6.0) * 0.2);
+        let b = Tensor::from_fn(vec![7, 4], |i| ((i * 19 % 17) as f32 - 8.0) * 0.1);
+        let plain = qgemm(&a, &b, &cfg).unwrap();
+        let ap = a.pad_to(8, 7).unwrap();
+        let bp = b.pad_to(7, 6).unwrap();
+        let padded = qgemm(&ap, &bp, &cfg).unwrap().crop_to(5, 4).unwrap();
+        assert_eq!(plain, padded, "n/m-padding changed bits");
+    }
+
+    #[test]
+    fn display_shows_all_stages() {
+        let s = QGemmConfig::fp8_fp12_sr().to_string();
+        assert!(s.contains("A:E5M2-RN"), "{s}");
+        assert!(s.contains("MAC:E5M2-NR x E6M5-SR"), "{s}");
+    }
+}

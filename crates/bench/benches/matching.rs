@@ -1,0 +1,40 @@
+//! Cost of the offline matching algorithm itself: per-GEMM mapping
+//! search and the full database brute force (it must stay cheap —
+//! the paper runs it at model-compile time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpt_arith::GemmShape;
+use mpt_core::matching::select_accelerator;
+use mpt_fpga::{best_mapping, SaConfig, SynthesisDb};
+use mpt_models::ModelDesc;
+
+fn bench_mapping(c: &mut Criterion) {
+    let cfg = SaConfig::new(16, 8, 10).expect("valid");
+    c.bench_function("best_mapping_single_gemm", |b| {
+        b.iter(|| best_mapping(GemmShape::new(128, 784, 100), cfg, 180.0, 8, 8))
+    });
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let db = SynthesisDb::u55();
+    let mut group = c.benchmark_group("select_accelerator");
+    for model in [ModelDesc::lenet5(64), ModelDesc::resnet20(128)] {
+        let workload = model.training_gemms();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &workload,
+            |b, w| b.iter(|| select_accelerator(w, &db, 8)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_mapping, bench_matcher
+}
+criterion_main!(benches);

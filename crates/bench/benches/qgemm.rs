@@ -1,0 +1,58 @@
+//! Quantized-GEMM emulation throughput: the cost of bit-accurate
+//! custom-precision GEMM versus the plain FP32 fast path, and the
+//! scaling of the multi-threaded kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpt_arith::{qgemm, qgemm_parallel, MacConfig, QGemmConfig};
+use mpt_formats::Rounding;
+use mpt_tensor::Tensor;
+
+fn operands(n: usize, k: usize, m: usize) -> (Tensor, Tensor) {
+    (
+        Tensor::from_fn(vec![n, k], |i| ((i * 37 % 101) as f32 - 50.0) * 0.01),
+        Tensor::from_fn(vec![k, m], |i| ((i * 43 % 97) as f32 - 48.0) * 0.012),
+    )
+}
+
+fn bench_configs(c: &mut Criterion) {
+    let (a, b) = operands(64, 64, 64);
+    let mut group = c.benchmark_group("qgemm_64cubed");
+    group.throughput(Throughput::Elements((64 * 64 * 64) as u64));
+    let cases: Vec<(&str, QGemmConfig)> = vec![
+        ("fp32_fast_path", QGemmConfig::fp32()),
+        ("fp8_fp12_rn", QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::Nearest))),
+        ("fp8_fp12_sr", QGemmConfig::fp8_fp12_sr()),
+        ("fp8_fp12_rz", QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::TowardZero))),
+        ("fp8_fp16_rn", QGemmConfig::for_mac(MacConfig::fp8_fp16_rn())),
+        ("fxp44_rn", QGemmConfig::for_mac(MacConfig::fxp4_4(Rounding::Nearest))),
+    ];
+    for (name, cfg) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |bch, cfg| {
+            bch.iter(|| qgemm(&a, &b, cfg).expect("conforming"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let (a, b) = operands(128, 96, 96);
+    let cfg = QGemmConfig::fp8_fp12_sr();
+    let mut group = c.benchmark_group("qgemm_parallel_128x96x96");
+    group.throughput(Throughput::Elements((128 * 96 * 96) as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &t| {
+            bch.iter(|| qgemm_parallel(&a, &b, &cfg, t).expect("conforming"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_configs, bench_threads
+}
+criterion_main!(benches);

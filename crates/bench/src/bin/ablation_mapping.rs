@@ -1,0 +1,45 @@
+//! Ablation: **transpose/partition mapping optimization on vs off**
+//! (paper Section IV-B).
+//!
+//! Compares each benchmark's estimated iteration latency with the
+//! brute-force mapping search against the naive canonical mapping
+//! (never transpose, always partition `A`) on the same matched
+//! configuration.
+//!
+//! ```text
+//! cargo run --release -p mpt-bench --bin ablation_mapping
+//! ```
+
+use mpt_bench::TableWriter;
+use mpt_core::matching::select_accelerator;
+use mpt_fpga::{perf::estimate_gemm, SynthesisDb};
+use mpt_models::ModelDesc;
+
+fn main() {
+    let db = SynthesisDb::u55();
+    println!("Ablation — mapping optimization (Section IV-B) on vs off\n");
+    let mut t = TableWriter::new(vec![
+        "Benchmark", "Config", "Mapped (s)", "Naive (s)", "Gain (%)",
+    ]);
+    for model in ModelDesc::all_benchmarks() {
+        let workload = model.training_gemms();
+        let choice = select_accelerator(&workload, &db, 8);
+        let naive: f64 = workload
+            .iter()
+            .map(|&s| estimate_gemm(s, choice.config, choice.freq_mhz, 8, 8).total_s)
+            .sum();
+        t.row(vec![
+            model.name().into(),
+            choice.config.to_string(),
+            format!("{:.4}", choice.estimated_s),
+            format!("{naive:.4}"),
+            format!("{:.1}", 100.0 * (naive - choice.estimated_s) / naive),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nThe gain concentrates in layers whose GEMMs are short along the\n\
+         partitioned dimension (conv weight-gradient products, classifier\n\
+         heads); square, tile-aligned GEMMs gain nothing."
+    );
+}

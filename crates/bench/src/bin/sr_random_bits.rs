@@ -1,0 +1,80 @@
+//! The stochastic-rounding random-bit study (paper Section V-B-1).
+//!
+//! The paper notes that FP12-SR with 13 random bits matches FP16-RN
+//! accuracy [10], while their 10-bit experiments show slight
+//! degradation. This experiment isolates the mechanism: accumulation
+//! error of a long positive-mean dot product (the stagnation regime)
+//! in an `E6M5` accumulator as a function of the SR unit's
+//! random-bit count, against the FP16-RN and exact references.
+//!
+//! ```text
+//! cargo run --release -p mpt-bench --bin sr_random_bits
+//! ```
+
+use mpt_arith::{mac_step, MacConfig};
+use mpt_bench::TableWriter;
+use mpt_formats::{FloatFormat, Quantizer, Rounding};
+
+fn main() {
+    // Accumulate k products of pseudo-random FP8 values; compare the
+    // result against the f64 exact sum. Average over many trials.
+    let k = 2048usize;
+    let trials = 64usize;
+    println!(
+        "SR random-bit study — relative error of a {k}-term dot product\n\
+         in an E6M5 accumulator, averaged over {trials} trials\n"
+    );
+
+    let gen = |t: usize, i: usize, which: u64| -> f32 {
+        // FP8-representable pseudo-random values in (0.25, 1): a
+        // positive-mean stream, the regime where low-precision
+        // accumulators stagnate (squared-gradient sums, ReLU
+        // activations). Zero-mean streams hide the effect.
+        let h = (t as u64 * 2654435761 + i as u64 * 40503 + which * 97)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let q = Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest);
+        q.quantize_f32(0.25 + ((h >> 16) % 1000) as f32 / 1333.0, 0)
+    };
+
+    let mut t = TableWriter::new(vec!["Accumulator", "Random bits", "Mean |rel err| (%)"]);
+    let mut run = |label: &str, mac: MacConfig, bits: Option<u32>| {
+        let mut total = 0.0f64;
+        for trial in 0..trials {
+            let mut acc = 0.0f32;
+            let mut exact = 0.0f64;
+            for i in 0..k {
+                let (a, b) = (gen(trial, i, 1), gen(trial, i, 2));
+                acc = mac_step(acc, a, b, &mac, trial, 0, i);
+                exact += a as f64 * b as f64;
+            }
+            if exact.abs() > 1e-9 {
+                total += ((acc as f64 - exact) / exact).abs();
+            }
+        }
+        t.row(vec![
+            label.into(),
+            bits.map_or("-".into(), |b| b.to_string()),
+            format!("{:.3}", 100.0 * total / trials as f64),
+        ]);
+    };
+
+    for bits in [1u32, 3, 5, 8, 10, 13, 16, 24] {
+        let mac = MacConfig::new(
+            Quantizer::float(FloatFormat::e5m2(), Rounding::NoRound),
+            Quantizer::float(FloatFormat::e6m5(), Rounding::Stochastic { random_bits: bits }),
+        )
+        .with_seed(5);
+        run("E6M5-SR", mac, Some(bits));
+    }
+    run("E6M5-RN", MacConfig::fp8_fp12(Rounding::Nearest), None);
+    run("E5M10-RN (FP16)", MacConfig::fp8_fp16_rn(), None);
+    run("E8M23-RN (FP32)", MacConfig::fp32(), None);
+    t.print();
+
+    println!(
+        "\nMore random bits push SR's truncation bias down, saturating around\n\
+         10-13 bits (the counts the paper discusses); the residual is the\n\
+         unavoidable SR variance. RN at E6M5 stagnates outright — a\n\
+         systematic error no random-bit count can remove."
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table I**: comparison of DNN training simulation
+//! frameworks.
+//!
+//! ```text
+//! cargo run -p mpt-bench --bin table1_features
+//! ```
+
+use mpt_bench::TableWriter;
+use mpt_core::features::table_i;
+
+fn main() {
+    println!("Table I — DNN training simulation frameworks\n");
+    let mut t = TableWriter::new(vec![
+        "Framework", "Base", "GPU", "FPGA", "Transformer", "FMA", "Emulation", "Formats",
+        "Rounding",
+    ]);
+    for row in table_i() {
+        t.row(vec![
+            row.name.into(),
+            row.base.into(),
+            row.gpu.to_string(),
+            row.fpga.to_string(),
+            row.transformer.to_string(),
+            row.fma.to_string(),
+            row.emulation.to_string(),
+            row.formats.into(),
+            row.rounding.into(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nMPTorch-FPGA is the only framework offering model-specific accelerator support\n\
+         with transformer coverage and the RN/RZ/SR/RO rounding set (paper Table I)."
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table III**: possible accelerator configurations on
+//! the Alveo U55 (maximal core count, frequency, resources).
+//!
+//! ```text
+//! cargo run -p mpt-bench --bin table3_configs
+//! ```
+
+use mpt_bench::TableWriter;
+use mpt_fpga::SynthesisDb;
+
+fn main() {
+    let db = SynthesisDb::u55();
+    println!(
+        "Table III — accelerator configurations (N = #PEs, M = #MACs/PE,\n\
+         C = max #cores, with chip utilization at C)\n"
+    );
+    let mut t = TableWriter::new(vec!["N", "M", "C", "F (MHz)", "LUT (%)", "BRAM (%)", "DSP (%)"]);
+    for p in db.points() {
+        t.row(vec![
+            p.n.to_string(),
+            p.m.to_string(),
+            p.c_max.to_string(),
+            format!("{:.1}", p.freq_mhz),
+            format!("{:.2}", p.lut_pct),
+            format!("{:.2}", p.bram_pct),
+            format!("{:.2}", p.dsp_pct),
+        ]);
+    }
+    t.print();
+
+    println!("\nDerived sub-maximal points (resource model, 8x8 array):\n");
+    let mut t = TableWriter::new(vec!["C", "F (MHz)", "LUT (%)", "BRAM (%)", "DSP (%)"]);
+    for c in 1..=db.max_cores(8, 8).expect("8x8 synthesized") {
+        let (lut, bram, dsp) = db.resources(8, 8, c).expect("in range");
+        t.row(vec![
+            c.to_string(),
+            format!("{:.1}", db.frequency(8, 8, c).expect("in range")),
+            format!("{lut:.2}"),
+            format!("{bram:.2}"),
+            format!("{dsp:.2}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nArithmetic is implemented in LUTs; DSP usage is address generation\n\
+         (paper Section V-C). The largest array fitting the chip is N=64, M=32, C=1."
+    );
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Table IV**: estimated training latency per iteration
+//! for the 8×8 systolic array at every core count, across all five
+//! paper benchmarks.
+//!
+//! ```text
+//! cargo run -p mpt-bench --bin table4_latency
+//! ```
+
+use mpt_bench::TableWriter;
+use mpt_core::matching::sweep_core_counts;
+use mpt_fpga::SynthesisDb;
+use mpt_models::ModelDesc;
+
+/// Operand width of the paper's accelerator format (FP8 = E5M2).
+const IN_BITS: u32 = 8;
+
+fn main() {
+    let db = SynthesisDb::u55();
+    let models = ModelDesc::all_benchmarks();
+    println!(
+        "Table IV — estimated training latency per iteration (s),\n\
+         N x M = 8 x 8, FP8 operands / FP12-SR accumulation\n"
+    );
+
+    let mut headers = vec!["C", "F (MHz)"];
+    let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+    headers.extend(names.iter().copied());
+    let mut t = TableWriter::new(headers);
+
+    let sweeps: Vec<Vec<(usize, f64, f64)>> = models
+        .iter()
+        .map(|m| sweep_core_counts(&m.training_gemms(), &db, 8, 8, IN_BITS))
+        .collect();
+
+    let c_max = db.max_cores(8, 8).expect("8x8 synthesized");
+    let mut optima = vec![(f64::INFINITY, 0usize); models.len()];
+    for c in 1..=c_max {
+        let freq = sweeps[0][c - 1].1;
+        let mut cells = vec![c.to_string(), format!("{freq:.1}")];
+        for (mi, sweep) in sweeps.iter().enumerate() {
+            let lat = sweep[c - 1].2;
+            if lat < optima[mi].0 {
+                optima[mi] = (lat, c);
+            }
+            cells.push(if lat < 0.05 {
+                format!("{lat:.4}")
+            } else {
+                format!("{lat:.2}")
+            });
+        }
+        t.row(cells);
+    }
+    t.print();
+
+    println!("\nOptimal core count per benchmark (minimum of each column):");
+    for (m, (lat, c)) in models.iter().zip(&optima) {
+        println!("  {:<9} C = {:>2}  ({lat:.4} s)", m.name(), c);
+    }
+    println!(
+        "\nBatch sizes follow Section V-A: LeNet5 64, VGG16/ResNet20 128,\n\
+         ResNet50 16, Nano-GPT 64 sequences of 256 tokens."
+    );
+}

@@ -1,0 +1,35 @@
+//! Emulation-throughput diagnostic: MAC/s of the quantized GEMM
+//! kernel per configuration on this machine — the "significant
+//! latency overhead" of software emulation that motivates the FPGA
+//! path (paper Section III).
+//!
+//! ```text
+//! cargo run --release -p mpt-bench --bin throughput
+//! ```
+
+use mpt_arith::{qgemm, MacConfig, QGemmConfig};
+use mpt_formats::Rounding;
+use mpt_tensor::Tensor;
+use std::time::Instant;
+
+fn main() {
+    let a = Tensor::from_fn(vec![128, 128], |i| ((i * 37 % 101) as f32 - 50.0) * 0.01);
+    let b = Tensor::from_fn(vec![128, 128], |i| ((i * 43 % 97) as f32 - 48.0) * 0.012);
+    println!("quantized GEMM emulation throughput (single thread, 128^3):\n");
+    for (name, cfg) in [
+        ("fp32 fast path", QGemmConfig::fp32()),
+        ("fp8 x fp12-SR", QGemmConfig::fp8_fp12_sr()),
+        ("fp8 x fp12-RN", QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::Nearest))),
+        ("fp8 x fp12-RZ", QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::TowardZero))),
+        ("fxp4.4-RN", QGemmConfig::for_mac(MacConfig::fxp4_4(Rounding::Nearest))),
+    ] {
+        let t0 = Instant::now();
+        let mut n = 0u64;
+        while t0.elapsed().as_secs_f64() < 1.0 {
+            qgemm(&a, &b, &cfg).expect("conforming");
+            n += 1;
+        }
+        let macs = n as f64 * 128f64.powi(3);
+        println!("  {name:<16} {:>8.1} Mmac/s", macs / t0.elapsed().as_secs_f64() / 1e6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Accumulates rows and prints an aligned ASCII table, so every
+/// binary's output reads like the paper's tables.
+///
+/// # Example
+///
+/// ```
+/// use mpt_bench::TableWriter;
+///
+/// let mut t = TableWriter::new(vec!["model", "latency"]);
+/// t.row(vec!["LeNet5".into(), "0.0037".into()]);
+/// let s = t.render();
+/// assert!(s.contains("LeNet5"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableWriter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        TableWriter { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:<w$}", cell, w = widths[i]));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TableWriter::new(vec!["a", "longer"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_width_checked() {
+        let mut t = TableWriter::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Run-scale selection for the accuracy experiments.
+//!
+//! Paper-scale training (200 CIFAR epochs, 5000 GPT iterations) is
+//! far beyond an emulated-arithmetic CPU run; the binaries default to
+//! a scaled schedule that preserves the *relative* behaviour of the
+//! arithmetic configurations and can be widened via `MPT_SCALE`.
+
+/// How much work the accuracy binaries do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Smoke-test sizes (~1 minute total).
+    Quick,
+    /// The default: enough training for the Table II ordering to
+    /// emerge (minutes).
+    Default,
+    /// Larger datasets and schedules (tens of minutes).
+    Full,
+}
+
+impl RunScale {
+    /// Training-set size multiplier.
+    pub fn train_samples(&self, base: usize) -> usize {
+        match self {
+            RunScale::Quick => base / 2,
+            RunScale::Default => base,
+            RunScale::Full => base * 4,
+        }
+    }
+
+    /// Epoch/iteration multiplier.
+    pub fn epochs(&self, base: usize) -> usize {
+        match self {
+            RunScale::Quick => base.div_ceil(2),
+            RunScale::Default => base,
+            RunScale::Full => base * 3,
+        }
+    }
+}
+
+/// Reads `MPT_SCALE` (`quick` / `default` / `full`; default
+/// `default`).
+pub fn run_scale() -> RunScale {
+    match std::env::var("MPT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "quick" => RunScale::Quick,
+        "full" => RunScale::Full,
+        _ => RunScale::Default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipliers() {
+        assert_eq!(RunScale::Quick.train_samples(400), 200);
+        assert_eq!(RunScale::Default.train_samples(400), 400);
+        assert_eq!(RunScale::Full.train_samples(400), 1600);
+        assert_eq!(RunScale::Quick.epochs(3), 2);
+        assert_eq!(RunScale::Full.epochs(3), 9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Unified execution device: CPU emulation or FPGA accelerator.
+//!
+//! Mirrors the paper's layer declaration (Fig. 3), where the user
+//! designates `device='fpga'` to route a layer's GEMMs to the
+//! accelerator. Both paths produce bit-identical results; the FPGA
+//! path additionally reports its measured latency.
+
+use mpt_arith::{qgemm_parallel, QGemmConfig};
+use mpt_fpga::{Accelerator, MeasuredLatency, SaConfig, SynthesisDb};
+use mpt_tensor::{ShapeError, Tensor};
+
+/// Where custom-precision GEMMs execute.
+#[derive(Debug, Clone)]
+pub enum Device {
+    /// Bit-accurate software emulation on the host CPU.
+    Cpu,
+    /// The simulated FPGA accelerator.
+    Fpga(Accelerator),
+}
+
+impl Device {
+    /// Convenience constructor: an FPGA device with configuration
+    /// `⟨n, m, c⟩` at the synthesis database's achieved frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mpt_fpga::ConfigError`] if the configuration is
+    /// invalid or absent from the database.
+    pub fn fpga(n: usize, m: usize, c: usize, db: &SynthesisDb) -> Result<Self, mpt_fpga::ConfigError> {
+        let cfg = SaConfig::new(n, m, c)?;
+        db.validate(cfg)?;
+        let freq = db
+            .frequency(n, m, c)
+            .expect("validated configuration has a frequency");
+        Ok(Device::Fpga(Accelerator::new(cfg, freq)))
+    }
+
+    /// `true` for the FPGA device.
+    pub fn is_fpga(&self) -> bool {
+        matches!(self, Device::Fpga(_))
+    }
+
+    /// Executes one custom-precision GEMM on this device. The FPGA
+    /// path also returns its measured latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] for non-conforming operands.
+    pub fn execute_gemm(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        cfg: &QGemmConfig,
+    ) -> Result<(Tensor, Option<MeasuredLatency>), ShapeError> {
+        match self {
+            Device::Cpu => {
+                let threads =
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                Ok((qgemm_parallel(a, b, cfg, threads)?, None))
+            }
+            Device::Fpga(acc) => {
+                let (c, lat) = acc.execute(a, b, cfg)?;
+                Ok((c, Some(lat)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_and_fpga_agree_bitwise() {
+        let db = SynthesisDb::u55();
+        let cpu = Device::Cpu;
+        let fpga = Device::fpga(4, 4, 2, &db).unwrap();
+        assert!(fpga.is_fpga());
+        assert!(!cpu.is_fpga());
+        let a = Tensor::from_fn(vec![9, 14], |i| ((i * 31 % 19) as f32 - 9.0) * 0.11);
+        let b = Tensor::from_fn(vec![14, 5], |i| ((i * 17 % 23) as f32 - 11.0) * 0.07);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(42);
+        let (rc, lc) = cpu.execute_gemm(&a, &b, &cfg).unwrap();
+        let (rf, lf) = fpga.execute_gemm(&a, &b, &cfg).unwrap();
+        assert_eq!(rc, rf, "device changed the numerical result");
+        assert!(lc.is_none());
+        assert!(lf.unwrap().total_s > 0.0);
+    }
+
+    #[test]
+    fn fpga_constructor_validates_against_db() {
+        let db = SynthesisDb::u55();
+        assert!(Device::fpga(8, 8, 10, &db).is_ok());
+        assert!(Device::fpga(16, 16, 8, &db).is_err()); // beyond c_max
+        assert!(Device::fpga(3, 3, 1, &db).is_err()); // invalid shape
+    }
+}

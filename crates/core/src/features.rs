@@ -1,0 +1,105 @@
+//! The framework feature matrix of the paper's Table I.
+
+/// Support level of one feature in one framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// Feature present.
+    Yes,
+    /// Feature absent.
+    No,
+    /// Not reported / not applicable.
+    Unspecified,
+}
+
+impl std::fmt::Display for Support {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Support::Yes => "yes",
+            Support::No => "no",
+            Support::Unspecified => "-",
+        })
+    }
+}
+
+/// One row of Table I: a DNN-training simulation framework and its
+/// feature set.
+#[derive(Debug, Clone)]
+pub struct FrameworkRow {
+    /// Framework name.
+    pub name: &'static str,
+    /// Host ML framework.
+    pub base: &'static str,
+    /// GPU-accelerated emulation.
+    pub gpu: Support,
+    /// Built-in FPGA execution.
+    pub fpga: Support,
+    /// Transformer model support.
+    pub transformer: Support,
+    /// Fused multiply-add emulation.
+    pub fma: Support,
+    /// Operator-level emulation.
+    pub emulation: Support,
+    /// Supported number-format families.
+    pub formats: &'static str,
+    /// Supported rounding modes.
+    pub rounding: &'static str,
+}
+
+/// Table I of the paper. MPTorch-FPGA (this reproduction) is the only
+/// row with model-specific built-in FPGA support and the full
+/// RN/RZ/SR/RO rounding set.
+pub fn table_i() -> Vec<FrameworkRow> {
+    use Support::{No, Unspecified, Yes};
+    vec![
+        FrameworkRow { name: "AdaPT", base: "PyTorch", gpu: No, fpga: No, transformer: Yes, fma: No, emulation: Yes, formats: "FXP", rounding: "-" },
+        FrameworkRow { name: "ApproxTrain", base: "TensorFlow", gpu: Yes, fpga: No, transformer: Yes, fma: No, emulation: Yes, formats: "FP", rounding: "RZ" },
+        FrameworkRow { name: "Cheetah", base: "TensorFlow", gpu: No, fpga: No, transformer: No, fma: No, emulation: Yes, formats: "Posit,FP", rounding: "RN" },
+        FrameworkRow { name: "GoldenEye", base: "PyTorch", gpu: Yes, fpga: No, transformer: Yes, fma: No, emulation: Yes, formats: "FXP,FP,BFP", rounding: "RN,RZ" },
+        FrameworkRow { name: "QPytorch", base: "PyTorch", gpu: Yes, fpga: No, transformer: No, fma: No, emulation: No, formats: "FXP,FP,BFP", rounding: "RN,RZ,SR" },
+        FrameworkRow { name: "FASE", base: "PyTorch,Caffe", gpu: No, fpga: No, transformer: Yes, fma: Yes, emulation: Yes, formats: "FP", rounding: "RN" },
+        FrameworkRow { name: "Archimedes-MPO", base: "TinyDNN", gpu: Yes, fpga: Yes, transformer: No, fma: Yes, emulation: Yes, formats: "FXP,FP", rounding: "RN" },
+        FrameworkRow { name: "MPTorch-FPGA", base: "PyTorch", gpu: Yes, fpga: Yes, transformer: Yes, fma: Yes, emulation: Yes, formats: "FXP,FP", rounding: "RN,RZ,SR,RO" },
+        FrameworkRow { name: "(this repo)", base: "Rust", gpu: Unspecified, fpga: Yes, transformer: Yes, fma: Yes, emulation: Yes, formats: "FXP,FP,BFP", rounding: "RN,RZ,SR,RO,NR" },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_paper_frameworks() {
+        let names: Vec<_> = table_i().iter().map(|r| r.name).collect();
+        for expected in [
+            "AdaPT", "ApproxTrain", "Cheetah", "GoldenEye", "QPytorch", "FASE",
+            "Archimedes-MPO", "MPTorch-FPGA",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn mptorch_fpga_is_uniquely_complete() {
+        // Table I's claim: only MPTorch-FPGA offers FPGA support with
+        // transformer coverage and the full rounding set.
+        let rows = table_i();
+        let full: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                r.fpga == Support::Yes
+                    && r.transformer == Support::Yes
+                    && r.rounding.contains("SR")
+                    && r.rounding.contains("RO")
+            })
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(full, ["MPTorch-FPGA", "(this repo)"]);
+    }
+
+    #[test]
+    fn support_display() {
+        assert_eq!(Support::Yes.to_string(), "yes");
+        assert_eq!(Support::No.to_string(), "no");
+        assert_eq!(Support::Unspecified.to_string(), "-");
+    }
+}

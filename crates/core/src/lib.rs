@@ -1,0 +1,42 @@
+//! # mpt-core — the MPTorch-FPGA framework
+//!
+//! The user-facing layer of the reproduction, tying together the
+//! substrates exactly as the paper's Figure 1 stacks them:
+//!
+//! * **Unified emulation + hardware execution** — [`Device`] selects
+//!   whether a custom-precision GEMM runs through CPU emulation
+//!   (`mpt-arith`) or the FPGA accelerator model (`mpt-fpga`); results
+//!   are bit-identical either way (the framework's central claim).
+//! * **Model-specific accelerator optimization** — [`matching`]
+//!   implements the offline matching algorithm of Section IV-B: brute
+//!   force over the pre-generated configuration database and the
+//!   per-GEMM transpose/partition mappings, minimizing estimated
+//!   training-iteration latency.
+//! * **Training orchestration** — [`trainer`] runs the Table II /
+//!   Fig. 6 style experiments: mixed-precision training with adaptive
+//!   loss scaling (initial factor 256) on the synthetic datasets.
+//! * **[`features`]** — the Table I framework-comparison matrix.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpt_core::matching::select_accelerator;
+//! use mpt_fpga::SynthesisDb;
+//! use mpt_models::ModelDesc;
+//!
+//! let db = SynthesisDb::u55();
+//! let choice = select_accelerator(&ModelDesc::lenet5(64).training_gemms(), &db, 8);
+//! assert!(choice.estimated_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod features;
+pub mod matching;
+pub mod trainer;
+
+pub use device::Device;
+pub use matching::{select_accelerator, sweep_core_counts, MatchResult};
+pub use trainer::{train_cnn, train_gpt, evaluate_cnn, TrainConfig, TrainReport};

@@ -1,0 +1,254 @@
+//! Training orchestration for the accuracy experiments
+//! (Table II / Fig. 6).
+//!
+//! One loop implements the paper's recipe: mixed-precision forward
+//! and backward passes through the tape, adaptive loss scaling with
+//! an initial factor of 256, SGD with momentum (CNNs) or Adam
+//! (transformer), and test-set evaluation.
+
+use mpt_data::{Batches, CharCorpus, ImageDataset};
+use mpt_models::NanoGpt;
+use mpt_nn::{AdaptiveLossScaler, Graph, Layer, Optimizer};
+
+/// Hyper-parameters of one CNN training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial loss scale (the paper uses 256).
+    pub loss_scale: f32,
+    /// Shuffling/dropout seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 2, batch_size: 32, loss_scale: 256.0, seed: 0 }
+    }
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Final test-set accuracy in percent.
+    pub test_accuracy: f32,
+    /// Loss-scale overflow events observed.
+    pub overflows: u64,
+}
+
+/// Trains `model` on `train`, evaluates on `test`, and reports
+/// per-epoch losses plus final test accuracy — the procedure behind
+/// each Table II cell.
+///
+/// Gradient overflows (from low-precision arithmetic) skip the
+/// optimizer step and back off the loss scale, exactly as in the
+/// paper's adaptive-loss-scaling setup.
+pub fn train_cnn(
+    model: &dyn Layer,
+    optimizer: &mut dyn Optimizer,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    cfg: TrainConfig,
+) -> TrainReport {
+    let params = model.parameters();
+    let mut scaler = AdaptiveLossScaler::with_scale(cfg.loss_scale);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for (images, labels) in Batches::new(train, cfg.batch_size, cfg.seed + epoch as u64) {
+            for p in &params {
+                p.zero_grad();
+            }
+            let mut g = Graph::new(true);
+            let x = g.input(images);
+            let logits = model.forward(&mut g, x);
+            let loss = g.cross_entropy(logits, &labels);
+            let loss_val = g.value(loss).item();
+            if loss_val.is_finite() {
+                loss_sum += loss_val as f64;
+                batches += 1;
+            }
+            g.backward(loss, scaler.scale());
+            if scaler.unscale_or_skip(&params) {
+                optimizer.step(&params);
+            }
+        }
+        epoch_losses.push(if batches > 0 { (loss_sum / batches as f64) as f32 } else { f32::NAN });
+    }
+    TrainReport {
+        epoch_losses,
+        test_accuracy: evaluate_cnn(model, test, cfg.batch_size),
+        overflows: scaler.overflow_count(),
+    }
+}
+
+/// Test-set accuracy (percent) of a CNN classifier.
+pub fn evaluate_cnn(model: &dyn Layer, test: &ImageDataset, batch_size: usize) -> f32 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (images, labels) in Batches::new(test, batch_size, 0) {
+        let mut g = Graph::new(false);
+        let x = g.input(images);
+        let logits = model.forward(&mut g, x);
+        let preds = g.value(logits).argmax_rows().expect("logits are a matrix");
+        correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        total += labels.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * correct as f32 / total as f32
+    }
+}
+
+/// Trains a [`NanoGpt`] on a character corpus for `iters` iterations
+/// of `batch` sequences each, recording validation loss every
+/// `eval_every` iterations — the procedure behind Fig. 6.
+///
+/// Returns `(iteration, validation_loss)` pairs.
+#[allow(clippy::too_many_arguments)]
+pub fn train_gpt(
+    model: &NanoGpt,
+    optimizer: &mut dyn Optimizer,
+    corpus: &CharCorpus,
+    iters: usize,
+    batch: usize,
+    block_size: usize,
+    eval_every: usize,
+    seed: u64,
+) -> Vec<(usize, f32)> {
+    let params = model.parameters();
+    let mut scaler = AdaptiveLossScaler::new();
+    let mut curve = Vec::new();
+    for it in 0..iters {
+        for p in &params {
+            p.zero_grad();
+        }
+        // Accumulate gradients over `batch` independent sequences.
+        let mut finite = true;
+        for s in 0..batch {
+            let (x, y) = corpus.sample_block(
+                block_size,
+                true,
+                seed.wrapping_add((it * batch + s) as u64),
+            );
+            let mut g = Graph::new(true);
+            let (_, loss) = model.loss(&mut g, &x, &y, it as u64);
+            finite &= g.value(loss).item().is_finite();
+            g.backward(loss, scaler.scale() / batch as f32);
+        }
+        if finite && scaler.unscale_or_skip(&params) {
+            optimizer.step(&params);
+        } else if !finite {
+            for p in &params {
+                p.zero_grad();
+            }
+        }
+        if it % eval_every == 0 || it + 1 == iters {
+            curve.push((it, validation_loss(model, corpus, block_size, 4, seed)));
+        }
+    }
+    curve
+}
+
+/// Mean validation loss over `samples` held-out blocks.
+pub fn validation_loss(
+    model: &NanoGpt,
+    corpus: &CharCorpus,
+    block_size: usize,
+    samples: usize,
+    seed: u64,
+) -> f32 {
+    let mut sum = 0.0f64;
+    for s in 0..samples {
+        let (x, y) = corpus.sample_block(block_size, false, seed.wrapping_add(s as u64));
+        let mut g = Graph::new(false);
+        let (_, loss) = model.loss(&mut g, &x, &y, 0);
+        sum += g.value(loss).item() as f64;
+    }
+    (sum / samples as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_data::synthetic_mnist;
+    use mpt_models::{lenet5, NanoGptConfig};
+    use mpt_nn::{Adam, GemmPrecision, Sgd};
+
+    #[test]
+    fn lenet_learns_synthetic_mnist_fp32() {
+        let train = synthetic_mnist(256, 1);
+        let test = synthetic_mnist(128, 2);
+        let model = lenet5(GemmPrecision::fp32(), 3);
+        let mut opt = Sgd::new(0.02, 0.9, 0.0);
+        let report = train_cnn(
+            &model,
+            &mut opt,
+            &train,
+            &test,
+            TrainConfig { epochs: 3, batch_size: 32, loss_scale: 256.0, seed: 0 },
+        );
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(
+            report.epoch_losses[2] < report.epoch_losses[0],
+            "loss did not fall: {:?}",
+            report.epoch_losses
+        );
+        assert!(
+            report.test_accuracy > 50.0,
+            "accuracy {} on an easy task",
+            report.test_accuracy
+        );
+    }
+
+    #[test]
+    fn quantized_training_also_learns() {
+        // The paper's FP8xFP12-SR config must train the easy task too.
+        let train = synthetic_mnist(192, 4);
+        let test = synthetic_mnist(96, 5);
+        let model = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(9), 6);
+        let mut opt = Sgd::new(0.02, 0.9, 0.0);
+        let report = train_cnn(
+            &model,
+            &mut opt,
+            &train,
+            &test,
+            TrainConfig { epochs: 3, batch_size: 32, loss_scale: 256.0, seed: 1 },
+        );
+        assert!(
+            report.test_accuracy > 40.0,
+            "SR-quantized accuracy {}",
+            report.test_accuracy
+        );
+    }
+
+    #[test]
+    fn evaluate_runs_in_inference_mode() {
+        let test = synthetic_mnist(64, 7);
+        let model = lenet5(GemmPrecision::fp32(), 8);
+        let acc = evaluate_cnn(&model, &test, 16);
+        assert!((0.0..=100.0).contains(&acc));
+    }
+
+    #[test]
+    fn gpt_validation_curve_is_produced() {
+        let corpus = CharCorpus::synthetic(3000, 0);
+        let model = NanoGpt::new(
+            NanoGptConfig { vocab: corpus.vocab_size(), layers: 1, heads: 2, embed: 16, block_size: 16 },
+            0.0,
+            GemmPrecision::fp32(),
+            1,
+        );
+        let mut opt = Adam::new(3e-3);
+        let curve = train_gpt(&model, &mut opt, &corpus, 10, 2, 16, 5, 0);
+        assert!(curve.len() >= 2);
+        assert!(curve.iter().all(|(_, l)| l.is_finite()));
+        assert!(curve.last().unwrap().1 < curve[0].1 * 1.2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Shuffled mini-batch iteration over an [`ImageDataset`].
+
+use crate::images::ImageDataset;
+use mpt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An epoch of shuffled mini-batches. The final short batch is kept
+/// (PyTorch `drop_last=False` semantics).
+///
+/// # Example
+///
+/// ```
+/// use mpt_data::{synthetic_mnist, Batches};
+///
+/// let data = synthetic_mnist(10, 0);
+/// let batches: Vec<_> = Batches::new(&data, 4, 1).collect();
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2
+/// assert_eq!(batches[0].0.shape()[0], 4);
+/// ```
+pub struct Batches<'a> {
+    dataset: &'a ImageDataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> Batches<'a> {
+    /// Creates a shuffled epoch with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(dataset: &'a ImageDataset, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        Batches { dataset, order, batch_size, cursor: 0 }
+    }
+
+    /// Number of batches this epoch will yield.
+    pub fn batch_count(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.gather(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::synthetic_mnist;
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let d = synthetic_mnist(23, 0);
+        let mut seen = vec![0u32; 23];
+        for (batch, labels) in Batches::new(&d, 5, 1) {
+            assert_eq!(batch.shape()[0], labels.len());
+            for _ in labels {
+                // count via batch sizes
+            }
+        }
+        // Count coverage through the shuffled order directly.
+        let b = Batches::new(&d, 5, 1);
+        for &i in &b.order {
+            seen[i] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn batch_count_includes_remainder() {
+        let d = synthetic_mnist(10, 0);
+        assert_eq!(Batches::new(&d, 4, 0).batch_count(), 3);
+        assert_eq!(Batches::new(&d, 10, 0).batch_count(), 1);
+        assert_eq!(Batches::new(&d, 16, 0).batch_count(), 1);
+    }
+
+    #[test]
+    fn shuffling_depends_on_seed() {
+        let d = synthetic_mnist(50, 0);
+        let a: Vec<usize> = Batches::new(&d, 50, 1).next().unwrap().1;
+        let b: Vec<usize> = Batches::new(&d, 50, 2).next().unwrap().1;
+        let c: Vec<usize> = Batches::new(&d, 50, 1).next().unwrap().1;
+        assert_eq!(a, c, "same seed must reproduce the epoch");
+        assert_ne!(a, b, "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let d = synthetic_mnist(4, 0);
+        Batches::new(&d, 0, 0);
+    }
+}

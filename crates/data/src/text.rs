@@ -1,0 +1,207 @@
+//! Synthetic character corpus — the Shakespeare stand-in for the
+//! NanoGPT benchmark (paper Section V-A-2).
+//!
+//! The corpus is produced by a seeded second-order Markov generator
+//! over a small alphabet with a hand-shaped transition structure
+//! (vowel/consonant alternation, word lengths, punctuation), giving a
+//! character stream whose bigram/trigram statistics are learnable —
+//! which is exactly what a small character-level GPT learns first.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A character-level corpus with vocabulary and train/validation
+/// splits.
+///
+/// # Example
+///
+/// ```
+/// use mpt_data::CharCorpus;
+///
+/// let corpus = CharCorpus::synthetic(10_000, 0);
+/// assert!(corpus.vocab_size() > 10);
+/// let (x, y) = corpus.sample_block(32, true, 1);
+/// assert_eq!(x.len(), 32);
+/// assert_eq!(&x[1..], &y[..31]); // targets are inputs shifted by one
+/// ```
+#[derive(Debug, Clone)]
+pub struct CharCorpus {
+    tokens: Vec<usize>,
+    vocab: Vec<char>,
+    split: usize,
+}
+
+impl CharCorpus {
+    /// Generates a synthetic corpus of `len` characters (90% train /
+    /// 10% validation).
+    pub fn synthetic(len: usize, seed: u64) -> Self {
+        let text = generate_text(len, seed);
+        CharCorpus::from_text(&text)
+    }
+
+    /// Builds a corpus from explicit text.
+    pub fn from_text(text: &str) -> Self {
+        let mut vocab: Vec<char> = text.chars().collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if vocab.is_empty() {
+            vocab.push(' ');
+        }
+        let index = |ch: char| vocab.binary_search(&ch).expect("char in vocab");
+        let tokens: Vec<usize> = text.chars().map(index).collect();
+        let split = tokens.len() * 9 / 10;
+        CharCorpus { tokens, vocab, split }
+    }
+
+    /// Number of distinct characters.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Total token count.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// `true` if the corpus has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Decodes token ids back to text (for inspection).
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter().map(|&i| self.vocab[i]).collect()
+    }
+
+    /// Draws one `(input, target)` block of `block_size` tokens from
+    /// the train (or validation) split; the target sequence is the
+    /// input shifted by one position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selected split is shorter than
+    /// `block_size + 1`.
+    pub fn sample_block(&self, block_size: usize, train: bool, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let (lo, hi) = if train { (0, self.split) } else { (self.split, self.tokens.len()) };
+        let span = hi - lo;
+        assert!(span > block_size, "split too small for block size {block_size}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = lo + rng.gen_range(0..span - block_size);
+        (
+            self.tokens[start..start + block_size].to_vec(),
+            self.tokens[start + 1..start + block_size + 1].to_vec(),
+        )
+    }
+}
+
+/// Generates pseudo-prose with word structure and punctuation.
+fn generate_text(len: usize, seed: u64) -> String {
+    const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+    const CONSONANTS: &[char] =
+        &['t', 'h', 's', 'r', 'n', 'l', 'd', 'm', 'w', 'c', 'f', 'g', 'b', 'p', 'k', 'v'];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(len);
+    let mut word_len = 0usize;
+    let mut want_vowel = rng.gen_bool(0.5);
+    let mut sentence_len = 0usize;
+    while out.len() < len {
+        if word_len >= 2 && rng.gen_bool((0.25 + 0.1 * word_len as f64).min(1.0)) {
+            sentence_len += 1;
+            if sentence_len > 6 && rng.gen_bool(0.3) {
+                out.push(if rng.gen_bool(0.7) { '.' } else { ',' });
+                sentence_len = 0;
+            }
+            out.push(if sentence_len == 0 && rng.gen_bool(0.2) { '\n' } else { ' ' });
+            word_len = 0;
+            want_vowel = rng.gen_bool(0.4);
+            continue;
+        }
+        // Zipf-ish skew: low indices far more likely.
+        let pick = |set: &[char], rng: &mut StdRng| {
+            let r: f64 = rng.gen::<f64>();
+            set[((r * r) * set.len() as f64) as usize % set.len()]
+        };
+        out.push(if want_vowel { pick(VOWELS, &mut rng) } else { pick(CONSONANTS, &mut rng) });
+        want_vowel = !want_vowel || rng.gen_bool(0.2);
+        word_len += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = CharCorpus::synthetic(5000, 3);
+        let b = CharCorpus::synthetic(5000, 3);
+        assert_eq!(a.decode(&a.tokens[..100]), b.decode(&b.tokens[..100]));
+    }
+
+    #[test]
+    fn vocab_is_compact() {
+        let c = CharCorpus::synthetic(20_000, 0);
+        assert!(c.vocab_size() >= 15 && c.vocab_size() <= 40, "{}", c.vocab_size());
+        assert_eq!(c.len(), 20_000);
+    }
+
+    #[test]
+    fn blocks_shift_by_one() {
+        let c = CharCorpus::synthetic(5000, 1);
+        let (x, y) = c.sample_block(64, true, 9);
+        assert_eq!(x.len(), 64);
+        assert_eq!(y.len(), 64);
+        assert_eq!(&x[1..], &y[..63]);
+    }
+
+    #[test]
+    fn validation_blocks_come_from_tail() {
+        let c = CharCorpus::synthetic(1000, 2);
+        // Any validation block must appear within the last 10%+block.
+        let (x, _) = c.sample_block(16, false, 5);
+        let tail = &c.tokens[c.split..];
+        let found = tail.windows(16).any(|w| w == x.as_slice());
+        assert!(found, "validation block not in validation split");
+    }
+
+    #[test]
+    fn text_has_word_structure() {
+        let text = generate_text(5000, 7);
+        let spaces = text.chars().filter(|&c| c == ' ').count();
+        assert!(spaces > 300, "{spaces} spaces — no word breaks?");
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let mean_len: f64 =
+            words.iter().map(|w| w.len() as f64).sum::<f64>() / words.len() as f64;
+        assert!((2.0..8.0).contains(&mean_len), "mean word length {mean_len}");
+    }
+
+    #[test]
+    fn bigram_statistics_are_nonuniform() {
+        // The generator must produce learnable structure: bigram
+        // distribution far from uniform.
+        let c = CharCorpus::synthetic(30_000, 4);
+        let v = c.vocab_size();
+        let mut counts = vec![0u32; v * v];
+        for w in c.tokens.windows(2) {
+            counts[w[0] * v + w[1]] += 1;
+        }
+        let nonzero = counts.iter().filter(|&&x| x > 0).count();
+        assert!(nonzero < v * v * 3 / 4, "bigram table nearly full: {nonzero}/{}", v * v);
+    }
+
+    #[test]
+    fn from_text_roundtrip() {
+        let c = CharCorpus::from_text("hello world");
+        let ids: Vec<usize> = (0..c.len()).map(|i| c.tokens[i]).collect();
+        assert_eq!(c.decode(&ids), "hello world");
+    }
+
+    #[test]
+    #[should_panic(expected = "split too small")]
+    fn block_size_validated() {
+        let c = CharCorpus::synthetic(100, 0);
+        c.sample_block(1000, true, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Block floating-point (BFP) formats.
+//!
+//! In block floating point a group of values shares one exponent
+//! (taken from the block's largest magnitude) while each element keeps
+//! a private `m`-bit signed mantissa. This halves per-element storage
+//! versus floating point at the cost of dynamic range inside the
+//! block. The paper lists blocked FP among MPTorch's supported
+//! families (Section III); frameworks like FAST [9] train with it.
+
+use crate::error::FormatError;
+use crate::float::exponent_of;
+use crate::rounding::{round_scaled, Rounding};
+use crate::sr::SrRng;
+use std::fmt;
+
+/// A block floating-point format: `man_bits`-bit signed mantissas
+/// sharing one exponent per block of `block_size` values.
+///
+/// # Example
+///
+/// ```
+/// use mpt_formats::{BlockFpFormat, Rounding, SrRng};
+///
+/// let bfp = BlockFpFormat::new(4, 16)?;
+/// let rng = SrRng::new(0);
+/// let block = [1.0f64, 0.5, -0.25, 0.06];
+/// let q = bfp.quantize_block(&block, Rounding::Nearest, &rng, 0);
+/// assert_eq!(q[0], 1.0); // the max sets the shared exponent
+/// # Ok::<(), mpt_formats::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockFpFormat {
+    man_bits: u32,
+    block_size: usize,
+}
+
+impl BlockFpFormat {
+    /// Creates a BFP format with `man_bits` mantissa bits per element
+    /// and `block_size` elements per shared exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::MantissaWidth`] if `man_bits` is 0 or
+    /// greater than 52, or [`FormatError::BlockSize`] if
+    /// `block_size == 0`.
+    pub fn new(man_bits: u32, block_size: usize) -> Result<Self, FormatError> {
+        if man_bits == 0 || man_bits > 52 {
+            return Err(FormatError::MantissaWidth(man_bits));
+        }
+        if block_size == 0 {
+            return Err(FormatError::BlockSize(block_size));
+        }
+        Ok(BlockFpFormat { man_bits, block_size })
+    }
+
+    /// Mantissa width per element, in bits.
+    pub fn man_bits(&self) -> u32 {
+        self.man_bits
+    }
+
+    /// Number of elements sharing one exponent.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Per-element storage width (sign + mantissa); the shared
+    /// exponent (8 bits) is amortized over the block.
+    pub fn bit_width(&self) -> u32 {
+        1 + self.man_bits
+    }
+
+    /// Quantizes one block (at most [`block_size`] values) against a
+    /// shared exponent derived from the block maximum.
+    ///
+    /// Stochastic rounding uses `base_index + i` as the event index of
+    /// element `i`, keeping the randomness reproducible under any
+    /// evaluation order.
+    ///
+    /// [`block_size`]: BlockFpFormat::block_size
+    pub fn quantize_block(
+        &self,
+        block: &[f64],
+        mode: Rounding,
+        rng: &SrRng,
+        base_index: u64,
+    ) -> Vec<f64> {
+        if matches!(mode, Rounding::NoRound) {
+            return block.to_vec();
+        }
+        let max_abs = block
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, |a, v| a.max(v.abs()));
+        if max_abs == 0.0 {
+            return block.to_vec();
+        }
+        let shared_exp = exponent_of(max_abs);
+        // Mantissas span [-2^(m), 2^m] in units of 2^(shared_exp - m + 1)?
+        // Use the convention: ulp = 2^(shared_exp - man_bits + 1) so the
+        // max magnitude's mantissa occupies man_bits bits.
+        let ulp_exp = shared_exp - self.man_bits as i32 + 1;
+        let scale = 2f64.powi(-ulp_exp);
+        let limit = 2f64.powi(self.man_bits as i32) - 1.0;
+        block
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if !v.is_finite() {
+                    return v;
+                }
+                let r = round_scaled(v * scale, mode, rng, base_index + i as u64);
+                r.clamp(-limit, limit) * 2f64.powi(ulp_exp)
+            })
+            .collect()
+    }
+
+    /// Quantizes a full slice in consecutive blocks of
+    /// [`block_size`](BlockFpFormat::block_size); a trailing partial
+    /// block is quantized against its own maximum.
+    pub fn quantize_slice(
+        &self,
+        values: &[f64],
+        mode: Rounding,
+        rng: &SrRng,
+        base_index: u64,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(values.len());
+        for (b, chunk) in values.chunks(self.block_size).enumerate() {
+            let idx = base_index + (b * self.block_size) as u64;
+            out.extend(self.quantize_block(chunk, mode, rng, idx));
+        }
+        out
+    }
+}
+
+impl fmt::Display for BlockFpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BFP{}x{}", self.man_bits, self.block_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SrRng {
+        SrRng::new(17)
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(BlockFpFormat::new(0, 8).is_err());
+        assert!(BlockFpFormat::new(53, 8).is_err());
+        assert!(BlockFpFormat::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn max_element_survives() {
+        let bfp = BlockFpFormat::new(4, 8).unwrap();
+        let block = [3.0, 0.1, -0.2, 0.7];
+        let q = bfp.quantize_block(&block, Rounding::Nearest, &rng(), 0);
+        assert_eq!(q[0], 3.0);
+    }
+
+    #[test]
+    fn small_elements_coarsen() {
+        let bfp = BlockFpFormat::new(3, 8).unwrap();
+        // max 4.0 -> shared_exp 2, ulp = 2^(2-3+1) = 1.0.
+        let q = bfp.quantize_block(&[4.0, 0.3, 0.6], Rounding::Nearest, &rng(), 0);
+        assert_eq!(q[1], 0.0);
+        assert_eq!(q[2], 1.0);
+    }
+
+    #[test]
+    fn zero_block_unchanged() {
+        let bfp = BlockFpFormat::new(4, 4).unwrap();
+        let q = bfp.quantize_block(&[0.0, 0.0], Rounding::Nearest, &rng(), 0);
+        assert_eq!(q, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn slice_quantizes_per_block() {
+        let bfp = BlockFpFormat::new(3, 2).unwrap();
+        // Two blocks with very different ranges: the second block's
+        // small values survive because they get their own exponent.
+        let vals = [8.0, 0.4, 0.5, 0.25];
+        let q = bfp.quantize_slice(&vals, Rounding::Nearest, &rng(), 0);
+        assert_eq!(q[0], 8.0);
+        assert_eq!(q[1], 0.0); // crushed by 8.0's exponent (ulp = 2)
+        assert_eq!(q[2], 0.5); // own block: survives
+        assert_eq!(q[3], 0.25);
+    }
+
+    #[test]
+    fn no_round_is_identity() {
+        let bfp = BlockFpFormat::new(2, 4).unwrap();
+        let vals = [1.234, 0.577];
+        assert_eq!(
+            bfp.quantize_block(&vals, Rounding::NoRound, &rng(), 0),
+            vals.to_vec()
+        );
+    }
+
+    #[test]
+    fn stochastic_stays_on_grid() {
+        let bfp = BlockFpFormat::new(3, 4).unwrap();
+        let vals = [4.0, 1.3, 2.7, 0.4];
+        let q = bfp.quantize_block(&vals, Rounding::stochastic(), &rng(), 0);
+        // ulp = 2^(2-3+1) = 1.0: every output is an integer.
+        for v in q {
+            assert_eq!(v.fract(), 0.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BlockFpFormat::new(4, 16).unwrap().to_string(), "BFP4x16");
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by format constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a number-format description is invalid.
+///
+/// Produced by the checked constructors of [`crate::FloatFormat`],
+/// [`crate::FixedFormat`] and [`crate::BlockFpFormat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The exponent width is outside the supported `2..=11` range.
+    ExponentWidth(u32),
+    /// The mantissa width is outside the supported `0..=52` range.
+    MantissaWidth(u32),
+    /// A fixed-point format must have at least one integer (sign) bit.
+    IntegerWidth(u32),
+    /// The fractional width is outside the supported `0..=52` range.
+    FractionWidth(u32),
+    /// The total width of a fixed-point format exceeds 64 bits.
+    TotalWidth(u32),
+    /// A block floating-point block size must be non-zero.
+    BlockSize(usize),
+    /// Stochastic rounding requested more random bits than supported.
+    RandomBits(u32),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FormatError::ExponentWidth(e) => {
+                write!(f, "exponent width {e} outside supported range 2..=11")
+            }
+            FormatError::MantissaWidth(m) => {
+                write!(f, "mantissa width {m} outside supported range 0..=52")
+            }
+            FormatError::IntegerWidth(i) => {
+                write!(f, "integer width {i} must be at least 1 (sign bit)")
+            }
+            FormatError::FractionWidth(q) => {
+                write!(f, "fraction width {q} outside supported range 0..=52")
+            }
+            FormatError::TotalWidth(w) => {
+                write!(f, "total fixed-point width {w} exceeds 64 bits")
+            }
+            FormatError::BlockSize(s) => {
+                write!(f, "block size {s} must be non-zero")
+            }
+            FormatError::RandomBits(r) => {
+                write!(f, "stochastic rounding with {r} random bits unsupported (max 32)")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msg = FormatError::ExponentWidth(20).to_string();
+        assert!(msg.starts_with("exponent width 20"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+}

@@ -1,0 +1,293 @@
+//! Unified quantizer over all format families.
+//!
+//! [`NumberFormat`] is the closed sum of the families a MAC unit can
+//! be configured with; [`Quantizer`] pairs a format with a rounding
+//! mode and a randomness source, which is the unit of configuration
+//! that the GEMM kernels in `mpt-arith` consume.
+
+use crate::block::BlockFpFormat;
+use crate::fixed::FixedFormat;
+use crate::float::FloatFormat;
+use crate::rounding::Rounding;
+use crate::sr::SrRng;
+use std::fmt;
+
+/// A number format from any of the supported families.
+///
+/// # Example
+///
+/// ```
+/// use mpt_formats::{FloatFormat, NumberFormat};
+///
+/// let f: NumberFormat = FloatFormat::e5m2().into();
+/// assert_eq!(f.bit_width(), 8);
+/// assert_eq!(f.to_string(), "E5M2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumberFormat {
+    /// Parameterizable floating point (`EeMm`).
+    Float(FloatFormat),
+    /// Two's-complement fixed point (`FXPi.f`).
+    Fixed(FixedFormat),
+    /// Block floating point (shared exponent per block).
+    BlockFp(BlockFpFormat),
+}
+
+impl NumberFormat {
+    /// Storage width in bits of one element (for BFP the shared
+    /// exponent is amortized and excluded, matching how HBM words are
+    /// packed).
+    pub fn bit_width(&self) -> u32 {
+        match self {
+            NumberFormat::Float(f) => f.bit_width(),
+            NumberFormat::Fixed(f) => f.bit_width(),
+            NumberFormat::BlockFp(f) => f.bit_width(),
+        }
+    }
+
+    /// Quantizes a single value. Block floating point applied to a
+    /// scalar degenerates to a block of one (its own exponent), which
+    /// keeps the scalar API total; use
+    /// [`BlockFpFormat::quantize_block`] for real blocks.
+    #[inline]
+    pub fn quantize(&self, x: f64, mode: Rounding, rng: &SrRng, index: u64) -> f64 {
+        match self {
+            NumberFormat::Float(f) => f.quantize(x, mode, rng, index),
+            NumberFormat::Fixed(f) => f.quantize(x, mode, rng, index),
+            NumberFormat::BlockFp(f) => {
+                f.quantize_block(&[x], mode, rng, index)[0]
+            }
+        }
+    }
+
+    /// `true` when every `f32` is representable (e.g. `E8M23`), i.e.
+    /// quantization through this format is the identity on `f32`
+    /// carriers.
+    pub fn is_f32_superset(&self) -> bool {
+        match self {
+            NumberFormat::Float(f) => f.exp_bits() >= 8 && f.man_bits() >= 23,
+            _ => false,
+        }
+    }
+}
+
+impl From<FloatFormat> for NumberFormat {
+    fn from(f: FloatFormat) -> Self {
+        NumberFormat::Float(f)
+    }
+}
+
+impl From<FixedFormat> for NumberFormat {
+    fn from(f: FixedFormat) -> Self {
+        NumberFormat::Fixed(f)
+    }
+}
+
+impl From<BlockFpFormat> for NumberFormat {
+    fn from(f: BlockFpFormat) -> Self {
+        NumberFormat::BlockFp(f)
+    }
+}
+
+impl fmt::Display for NumberFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumberFormat::Float(x) => x.fmt(f),
+            NumberFormat::Fixed(x) => x.fmt(f),
+            NumberFormat::BlockFp(x) => x.fmt(f),
+        }
+    }
+}
+
+/// A format paired with a rounding mode: one quantization behaviour.
+///
+/// This is the configuration unit consumed by `mpt-arith`'s kernels:
+/// the paper's `E6M5-SR` is
+/// `Quantizer::float(FloatFormat::e6m5(), Rounding::stochastic())`.
+///
+/// # Example
+///
+/// ```
+/// use mpt_formats::{FloatFormat, Quantizer, Rounding};
+///
+/// let q = Quantizer::float(FloatFormat::e6m5(), Rounding::stochastic());
+/// assert_eq!(q.to_string(), "E6M5-SR");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    format: NumberFormat,
+    rounding: Rounding,
+    rng: SrRng,
+}
+
+impl Quantizer {
+    /// Creates a quantizer from any format and rounding mode, with a
+    /// default stochastic seed of 0 (see
+    /// [`with_seed`](Quantizer::with_seed)).
+    pub fn new(format: impl Into<NumberFormat>, rounding: Rounding) -> Self {
+        Quantizer {
+            format: format.into(),
+            rounding,
+            rng: SrRng::new(0),
+        }
+    }
+
+    /// Floating-point quantizer (`EeMm` + rounding).
+    pub fn float(format: FloatFormat, rounding: Rounding) -> Self {
+        Quantizer::new(format, rounding)
+    }
+
+    /// Fixed-point quantizer (`FXPi.f` + rounding).
+    pub fn fixed(format: FixedFormat, rounding: Rounding) -> Self {
+        Quantizer::new(format, rounding)
+    }
+
+    /// The identity quantizer: FP32 values pass through unchanged.
+    pub fn identity() -> Self {
+        Quantizer::new(FloatFormat::e8m23(), Rounding::Nearest)
+    }
+
+    /// Replaces the stochastic-rounding seed (a no-op for
+    /// deterministic modes).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SrRng::new(seed);
+        self
+    }
+
+    /// The format being quantized to.
+    pub fn format(&self) -> NumberFormat {
+        self.format
+    }
+
+    /// The rounding mode in effect.
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// The stochastic-rounding bit source.
+    pub fn rng(&self) -> SrRng {
+        self.rng
+    }
+
+    /// `true` when this quantizer never changes an `f32` carrier.
+    pub fn is_identity(&self) -> bool {
+        matches!(self.rounding, Rounding::NoRound) || self.format.is_f32_superset()
+    }
+
+    /// Quantizes one `f64` value; `index` labels the rounding event
+    /// for stochastic reproducibility.
+    #[inline]
+    pub fn quantize(&self, x: f64, index: u64) -> f64 {
+        self.format.quantize(x, self.rounding, &self.rng, index)
+    }
+
+    /// Quantizes one `f32` value.
+    #[inline]
+    pub fn quantize_f32(&self, x: f32, index: u64) -> f32 {
+        self.quantize(x as f64, index) as f32
+    }
+
+    /// Quantizes a slice of `f32` in place, using
+    /// `base_index + position` as each element's rounding-event index.
+    pub fn quantize_slice(&self, values: &mut [f32], base_index: u64) {
+        if self.is_identity() {
+            return;
+        }
+        if let NumberFormat::BlockFp(bfp) = self.format {
+            let f64s: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+            let q = bfp.quantize_slice(&f64s, self.rounding, &self.rng, base_index);
+            for (dst, src) in values.iter_mut().zip(q) {
+                *dst = src as f32;
+            }
+            return;
+        }
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.quantize(*v as f64, base_index + i as u64) as f32;
+        }
+    }
+}
+
+impl fmt::Display for Quantizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.format, self.rounding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_cells() {
+        let q = Quantizer::float(FloatFormat::e6m5(), Rounding::stochastic());
+        assert_eq!(q.to_string(), "E6M5-SR");
+        let q = Quantizer::fixed(FixedFormat::fxp4_4(), Rounding::TowardZero);
+        assert_eq!(q.to_string(), "FXP4.4-RZ");
+    }
+
+    #[test]
+    fn identity_passes_f32_through() {
+        let q = Quantizer::identity();
+        assert!(q.is_identity());
+        for &v in &[1.0f32, -2.7, 1.0e-20, 3.0e38] {
+            assert_eq!(q.quantize_f32(v, 0), v);
+        }
+    }
+
+    #[test]
+    fn no_round_is_identity() {
+        let q = Quantizer::float(FloatFormat::e5m2(), Rounding::NoRound);
+        assert!(q.is_identity());
+        assert_eq!(q.quantize_f32(1.2345, 0), 1.2345);
+    }
+
+    #[test]
+    fn slice_quantization_matches_scalar() {
+        let q = Quantizer::float(FloatFormat::e5m2(), Rounding::stochastic()).with_seed(9);
+        let src: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.173).collect();
+        let mut a = src.clone();
+        q.quantize_slice(&mut a, 100);
+        let b: Vec<f32> = src
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| q.quantize_f32(v, 100 + i as u64))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_stochastic_stream() {
+        let x = 1.1f32;
+        let a = Quantizer::float(FloatFormat::e5m2(), Rounding::stochastic()).with_seed(1);
+        let b = Quantizer::float(FloatFormat::e5m2(), Rounding::stochastic()).with_seed(2);
+        let va: Vec<f32> = (0..64).map(|i| a.quantize_f32(x, i)).collect();
+        let vb: Vec<f32> = (0..64).map(|i| b.quantize_f32(x, i)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn number_format_conversions() {
+        let f: NumberFormat = FloatFormat::e5m2().into();
+        let x: NumberFormat = FixedFormat::fxp4_4().into();
+        let b: NumberFormat = BlockFpFormat::new(4, 16).unwrap().into();
+        assert_eq!(f.bit_width(), 8);
+        assert_eq!(x.bit_width(), 8);
+        assert_eq!(b.bit_width(), 5);
+    }
+
+    #[test]
+    fn f32_superset_detection() {
+        assert!(NumberFormat::from(FloatFormat::e8m23()).is_f32_superset());
+        assert!(!NumberFormat::from(FloatFormat::e5m10()).is_f32_superset());
+        assert!(!NumberFormat::from(FixedFormat::fxp16_8()).is_f32_superset());
+    }
+
+    #[test]
+    fn bfp_slice_path() {
+        let bfp = BlockFpFormat::new(3, 2).unwrap();
+        let q = Quantizer::new(bfp, Rounding::Nearest);
+        let mut vals = [8.0f32, 0.4, 0.5, 0.25];
+        q.quantize_slice(&mut vals, 0);
+        assert_eq!(vals, [8.0, 0.0, 0.5, 0.25]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Rounding modes and the scaled-integer rounding primitive.
+//!
+//! Every quantizer in this crate reduces to the same core operation:
+//! scale the value so that the unit in the last place of the target
+//! format equals `1.0`, round that scaled value to an integer under
+//! the selected mode, and scale back. [`round_scaled`] implements that
+//! integer rounding step for all five modes of the paper.
+
+use crate::sr::SrRng;
+
+/// Rounding mode applied when a value is quantized to fewer bits.
+///
+/// The names follow the paper (Section III): RN, RZ, SR, RO and NR.
+///
+/// # Example
+///
+/// ```
+/// use mpt_formats::Rounding;
+///
+/// assert_eq!(Rounding::Nearest.mnemonic(), "RN");
+/// assert!(Rounding::Stochastic { random_bits: 10 }.is_stochastic());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rounding {
+    /// Round to nearest, ties to even (**RN**).
+    Nearest,
+    /// Round toward zero / truncate (**RZ**).
+    TowardZero,
+    /// Stochastic rounding (**SR**) comparing the discarded fraction
+    /// against `random_bits` pseudo-random bits.
+    ///
+    /// The paper evaluates 10 random bits (and cites [10] for the
+    /// result that 13 bits recover FP16-RN accuracy at FP12-SR).
+    Stochastic {
+        /// Number of random bits the SR unit consumes per rounding
+        /// event (1..=32).
+        random_bits: u32,
+    },
+    /// Round to odd (**RO**): truncate toward zero and, if inexact,
+    /// force the least-significant mantissa bit to 1.
+    ToOdd,
+    /// No rounding (**NR**): the value passes through exactly.
+    ///
+    /// Used for fused multiplier outputs, where the full-width product
+    /// feeds the accumulator without an intermediate rounding step.
+    NoRound,
+}
+
+impl Rounding {
+    /// Stochastic rounding with the paper's default of 10 random bits.
+    pub const fn stochastic() -> Self {
+        Rounding::Stochastic { random_bits: 10 }
+    }
+
+    /// The two-letter mnemonic used throughout the paper's tables.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Rounding::Nearest => "RN",
+            Rounding::TowardZero => "RZ",
+            Rounding::Stochastic { .. } => "SR",
+            Rounding::ToOdd => "RO",
+            Rounding::NoRound => "NR",
+        }
+    }
+
+    /// Returns `true` for [`Rounding::Stochastic`].
+    pub fn is_stochastic(&self) -> bool {
+        matches!(self, Rounding::Stochastic { .. })
+    }
+}
+
+impl std::fmt::Display for Rounding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Rounds `y` to an integer under `mode`.
+///
+/// `y` is the value pre-scaled so its ULP is `1.0`; callers guarantee
+/// `|y| < 2^53` so the arithmetic below is exact. `rng`/`index`
+/// provide the randomness for [`Rounding::Stochastic`]; other modes
+/// ignore them.
+///
+/// For [`Rounding::NoRound`] the value is returned unchanged (the
+/// caller then skips the quantization entirely).
+#[inline]
+pub fn round_scaled(y: f64, mode: Rounding, rng: &SrRng, index: u64) -> f64 {
+    match mode {
+        Rounding::Nearest => round_ties_even(y),
+        Rounding::TowardZero => y.trunc(),
+        Rounding::Stochastic { random_bits } => {
+            let t = y.floor();
+            if t == y {
+                return y;
+            }
+            // Compare the discarded fraction (truncated to
+            // `random_bits` of resolution, as hardware does) against a
+            // uniform draw of the same resolution: round up with
+            // probability ~frac(y).
+            let frac = y - t;
+            let scale = (1u64 << random_bits.min(53)) as f64;
+            let frac_bits = (frac * scale).floor();
+            let draw = rng.bits(index, random_bits.min(53)) as f64;
+            if frac_bits > draw {
+                t + 1.0
+            } else {
+                t
+            }
+        }
+        Rounding::ToOdd => {
+            let t = y.trunc();
+            if t == y || t.rem_euclid(2.0) == 1.0 {
+                t
+            } else if y > 0.0 {
+                t + 1.0
+            } else {
+                t - 1.0
+            }
+        }
+        Rounding::NoRound => y,
+    }
+}
+
+/// Round half to even (banker's rounding) on `f64`.
+///
+/// Stand-alone implementation (avoids depending on
+/// `f64::round_ties_even` stabilization details) used by every RN
+/// quantization in the crate.
+#[inline]
+pub fn round_ties_even(y: f64) -> f64 {
+    let r = y.round(); // half away from zero
+    if (y - y.trunc()).abs() == 0.5 {
+        // Tie: pick the even neighbour.
+        if r.rem_euclid(2.0) == 1.0 {
+            r - y.signum()
+        } else {
+            r
+        }
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SrRng {
+        SrRng::new(7)
+    }
+
+    #[test]
+    fn nearest_ties_even() {
+        let r = rng();
+        assert_eq!(round_scaled(2.5, Rounding::Nearest, &r, 0), 2.0);
+        assert_eq!(round_scaled(3.5, Rounding::Nearest, &r, 0), 4.0);
+        assert_eq!(round_scaled(-2.5, Rounding::Nearest, &r, 0), -2.0);
+        assert_eq!(round_scaled(-3.5, Rounding::Nearest, &r, 0), -4.0);
+        assert_eq!(round_scaled(2.4, Rounding::Nearest, &r, 0), 2.0);
+        assert_eq!(round_scaled(2.6, Rounding::Nearest, &r, 0), 3.0);
+    }
+
+    #[test]
+    fn toward_zero_truncates() {
+        let r = rng();
+        assert_eq!(round_scaled(2.9, Rounding::TowardZero, &r, 0), 2.0);
+        assert_eq!(round_scaled(-2.9, Rounding::TowardZero, &r, 0), -2.0);
+        assert_eq!(round_scaled(2.0, Rounding::TowardZero, &r, 0), 2.0);
+    }
+
+    #[test]
+    fn to_odd_forces_odd_lsb_when_inexact() {
+        let r = rng();
+        // Exact values pass through.
+        assert_eq!(round_scaled(4.0, Rounding::ToOdd, &r, 0), 4.0);
+        assert_eq!(round_scaled(3.0, Rounding::ToOdd, &r, 0), 3.0);
+        // Inexact between even and odd: land on odd.
+        assert_eq!(round_scaled(4.2, Rounding::ToOdd, &r, 0), 5.0);
+        assert_eq!(round_scaled(3.2, Rounding::ToOdd, &r, 0), 3.0);
+        assert_eq!(round_scaled(-4.2, Rounding::ToOdd, &r, 0), -5.0);
+        assert_eq!(round_scaled(-3.2, Rounding::ToOdd, &r, 0), -3.0);
+    }
+
+    #[test]
+    fn no_round_is_identity() {
+        let r = rng();
+        assert_eq!(round_scaled(2.718, Rounding::NoRound, &r, 0), 2.718);
+    }
+
+    #[test]
+    fn stochastic_exact_values_pass_through() {
+        let r = rng();
+        let sr = Rounding::stochastic();
+        assert_eq!(round_scaled(5.0, sr, &r, 0), 5.0);
+        assert_eq!(round_scaled(-5.0, sr, &r, 0), -5.0);
+    }
+
+    #[test]
+    fn stochastic_rounds_to_neighbours() {
+        let r = rng();
+        let sr = Rounding::stochastic();
+        for idx in 0..200 {
+            let y = round_scaled(2.3, sr, &r, idx);
+            assert!(y == 2.0 || y == 3.0, "got {y}");
+        }
+    }
+
+    #[test]
+    fn stochastic_is_unbiased_in_expectation() {
+        let r = rng();
+        let sr = Rounding::Stochastic { random_bits: 16 };
+        let n = 50_000u64;
+        let mean: f64 =
+            (0..n).map(|i| round_scaled(2.25, sr, &r, i)).sum::<f64>() / n as f64;
+        assert!((mean - 2.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn stochastic_one_bit_behaves_like_probabilistic_half() {
+        // With 1 random bit, frac < 0.5 truncated fraction is 0 so it
+        // always rounds down; frac >= 0.5 rounds up iff the drawn bit
+        // is 0, i.e. with probability one half.
+        let r = rng();
+        let sr = Rounding::Stochastic { random_bits: 1 };
+        for idx in 0..100 {
+            assert_eq!(round_scaled(2.4, sr, &r, idx), 2.0);
+        }
+        let ups = (0..10_000u64)
+            .filter(|&i| round_scaled(2.6, sr, &r, i) == 3.0)
+            .count();
+        assert!((3_500..6_500).contains(&ups), "ups {ups}");
+    }
+
+    #[test]
+    fn mnemonics_match_paper() {
+        assert_eq!(Rounding::Nearest.to_string(), "RN");
+        assert_eq!(Rounding::TowardZero.to_string(), "RZ");
+        assert_eq!(Rounding::stochastic().to_string(), "SR");
+        assert_eq!(Rounding::ToOdd.to_string(), "RO");
+        assert_eq!(Rounding::NoRound.to_string(), "NR");
+    }
+}

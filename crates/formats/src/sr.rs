@@ -1,0 +1,139 @@
+//! Counter-based random-bit source for stochastic rounding.
+//!
+//! Hardware stochastic-rounding units consume a fresh pseudo-random
+//! word per rounding event. To make CPU emulation and the systolic
+//! array simulator in `mpt-fpga` produce *bitwise identical* results,
+//! the randomness here is a **stateless** function of `(seed, index)`:
+//! whichever order the MAC operations execute in, the rounding event
+//! for output element `(i, j)` at reduction step `k` always draws the
+//! same bits.
+//!
+//! The generator is a SplitMix64-style finalizer, which has full
+//! 64-bit avalanche and is more than adequate as a source of rounding
+//! noise (the paper's hardware uses small LFSRs).
+
+/// Stateless counter-based random-bit generator for stochastic
+/// rounding.
+///
+/// Construct one per kernel invocation with a seed, then request bits
+/// with a per-event index. Equal `(seed, index)` pairs always return
+/// equal bits.
+///
+/// # Example
+///
+/// ```
+/// use mpt_formats::SrRng;
+///
+/// let rng = SrRng::new(42);
+/// assert_eq!(rng.bits(7, 10), SrRng::new(42).bits(7, 10));
+/// assert_ne!(rng.bits(7, 10), rng.bits(8, 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SrRng {
+    seed: u64,
+}
+
+impl SrRng {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        SrRng { seed }
+    }
+
+    /// Returns the seed this generator was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns `nbits` pseudo-random bits (in the low bits of the
+    /// result) for rounding event `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 64`.
+    #[inline]
+    pub fn bits(&self, index: u64, nbits: u32) -> u64 {
+        assert!(nbits <= 64, "at most 64 random bits per event");
+        if nbits == 0 {
+            return 0;
+        }
+        let word = mix(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        word >> (64 - nbits)
+    }
+
+    /// Returns a uniform value in `[0, 1)` with `nbits` of resolution,
+    /// i.e. `bits(index, nbits) / 2^nbits`.
+    #[inline]
+    pub fn unit(&self, index: u64, nbits: u32) -> f64 {
+        debug_assert!(nbits >= 1 && nbits <= 53);
+        self.bits(index, nbits) as f64 / (1u64 << nbits) as f64
+    }
+}
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_index() {
+        let rng = SrRng::new(123);
+        for idx in 0..100u64 {
+            assert_eq!(rng.bits(idx, 13), rng.bits(idx, 13));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_give_distinct_streams() {
+        let rng = SrRng::new(1);
+        let a: Vec<u64> = (0..64).map(|i| rng.bits(i, 32)).collect();
+        let b: Vec<u64> = (64..128).map(|i| rng.bits(i, 32)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bits_fit_width() {
+        let rng = SrRng::new(99);
+        for idx in 0..1000u64 {
+            assert!(rng.bits(idx, 10) < (1 << 10));
+            assert!(rng.bits(idx, 1) < 2);
+        }
+    }
+
+    #[test]
+    fn zero_bits_is_zero() {
+        assert_eq!(SrRng::new(5).bits(77, 0), 0);
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let rng = SrRng::new(7);
+        for idx in 0..1000u64 {
+            let u = rng.unit(idx, 13);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let rng = SrRng::new(2024);
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| rng.unit(i, 20)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = SrRng::new(1);
+        let b = SrRng::new(2);
+        let same = (0..1000u64).filter(|&i| a.bits(i, 16) == b.bits(i, 16)).count();
+        assert!(same < 10, "{same} collisions in 1000 draws");
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the quantizer invariants that the rest of
+//! the stack relies on.
+
+use mpt_formats::{FixedFormat, FloatFormat, Quantizer, Rounding, SrRng};
+use proptest::prelude::*;
+
+fn float_formats() -> impl Strategy<Value = FloatFormat> {
+    (2u32..=8, 0u32..=23).prop_map(|(e, m)| FloatFormat::new(e, m).expect("valid"))
+}
+
+fn fixed_formats() -> impl Strategy<Value = FixedFormat> {
+    (1u32..=16, 0u32..=16).prop_map(|(i, f)| FixedFormat::new(i, f).expect("valid"))
+}
+
+fn deterministic_modes() -> impl Strategy<Value = Rounding> {
+    prop_oneof![
+        Just(Rounding::Nearest),
+        Just(Rounding::TowardZero),
+        Just(Rounding::ToOdd),
+    ]
+}
+
+fn all_modes() -> impl Strategy<Value = Rounding> {
+    prop_oneof![
+        Just(Rounding::Nearest),
+        Just(Rounding::TowardZero),
+        Just(Rounding::ToOdd),
+        (1u32..=24).prop_map(|b| Rounding::Stochastic { random_bits: b }),
+    ]
+}
+
+proptest! {
+    /// Quantizing twice equals quantizing once (the output is a fixed
+    /// point of the quantizer) for deterministic modes.
+    #[test]
+    fn float_quantization_idempotent(
+        fmt in float_formats(),
+        mode in deterministic_modes(),
+        x in -1.0e6f64..1.0e6,
+    ) {
+        let rng = SrRng::new(0);
+        let once = fmt.quantize(x, mode, &rng, 0);
+        let twice = fmt.quantize(once, mode, &rng, 0);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Stochastic rounding's two possible outputs bracket the input,
+    /// and representable inputs are untouched.
+    #[test]
+    fn float_stochastic_outputs_bracket_input(
+        fmt in float_formats(),
+        x in -1.0e4f64..1.0e4,
+        idx in 0u64..1000,
+    ) {
+        let rng = SrRng::new(1);
+        let sr = Rounding::Stochastic { random_bits: 10 };
+        let y = fmt.quantize(x, sr, &rng, idx);
+        // y is representable and within one ULP (of x's binade) of x:
+        // SR floors the signed scaled value, so the two candidates are
+        // the enclosing grid points one ULP apart.
+        prop_assert!(fmt.is_representable(y));
+        if x != 0.0 && x.abs() <= fmt.max_value() {
+            let exp = x.abs().log2().floor() as i32;
+            let ulp = 2f64.powi(exp.max(fmt.min_exp()) - fmt.man_bits() as i32);
+            prop_assert!((y - x).abs() <= ulp + 1.0e-30, "y={} x={} ulp={}", y, x, ulp);
+        }
+    }
+
+    /// RN error is at most half an ULP of the result's binade (for
+    /// in-range values), RZ never increases magnitude.
+    #[test]
+    fn float_error_bounds(
+        fmt in float_formats(),
+        x in -1.0e4f64..1.0e4,
+    ) {
+        let rng = SrRng::new(0);
+        if x.abs() > fmt.max_value() || x == 0.0 {
+            return Ok(());
+        }
+        let rn = fmt.quantize(x, Rounding::Nearest, &rng, 0);
+        let exp = x.abs().log2().floor() as i32;
+        let ulp = 2f64.powi(exp.max(fmt.min_exp()) - fmt.man_bits() as i32);
+        prop_assert!((rn - x).abs() <= ulp / 2.0 + 1.0e-30, "rn={rn} x={x} ulp={ulp}");
+
+        let rz = fmt.quantize(x, Rounding::TowardZero, &rng, 0);
+        prop_assert!(rz.abs() <= x.abs());
+        prop_assert!((rz - x).abs() < ulp + 1.0e-30);
+    }
+
+    /// Quantization is odd-symmetric for symmetric modes: q(-x) = -q(x).
+    #[test]
+    fn float_symmetry(
+        fmt in float_formats(),
+        mode in deterministic_modes(),
+        x in 0.0f64..1.0e6,
+    ) {
+        let rng = SrRng::new(0);
+        let pos = fmt.quantize(x, mode, &rng, 0);
+        let neg = fmt.quantize(-x, mode, &rng, 0);
+        prop_assert_eq!(pos, -neg);
+    }
+
+    /// All outputs are representable values of the format.
+    #[test]
+    fn float_outputs_representable(
+        fmt in float_formats(),
+        mode in all_modes(),
+        x in -1.0e6f64..1.0e6,
+        idx in 0u64..64,
+    ) {
+        let rng = SrRng::new(7);
+        let y = fmt.quantize(x, mode, &rng, idx);
+        prop_assert!(fmt.is_representable(y), "{} not representable in {}", y, fmt);
+    }
+
+    /// Monotonicity of RN: x <= x' implies q(x) <= q(x').
+    #[test]
+    fn float_rn_monotone(
+        fmt in float_formats(),
+        a in -1.0e5f64..1.0e5,
+        b in -1.0e5f64..1.0e5,
+    ) {
+        let rng = SrRng::new(0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let qlo = fmt.quantize(lo, Rounding::Nearest, &rng, 0);
+        let qhi = fmt.quantize(hi, Rounding::Nearest, &rng, 0);
+        prop_assert!(qlo <= qhi);
+    }
+
+    /// Fixed point: outputs land on the grid and inside the range.
+    #[test]
+    fn fixed_outputs_on_grid(
+        fmt in fixed_formats(),
+        mode in all_modes(),
+        x in -1.0e5f64..1.0e5,
+        idx in 0u64..64,
+    ) {
+        let rng = SrRng::new(3);
+        let y = fmt.quantize(x, mode, &rng, idx);
+        prop_assert!(y >= fmt.min_value() && y <= fmt.max_value());
+        let code = y / fmt.resolution();
+        prop_assert_eq!(code.fract(), 0.0, "off-grid output {}", y);
+    }
+
+    /// Fixed point is idempotent for deterministic modes.
+    #[test]
+    fn fixed_idempotent(
+        fmt in fixed_formats(),
+        mode in deterministic_modes(),
+        x in -1.0e5f64..1.0e5,
+    ) {
+        let rng = SrRng::new(0);
+        let once = fmt.quantize(x, mode, &rng, 0);
+        prop_assert_eq!(fmt.quantize(once, mode, &rng, 0), once);
+    }
+
+    /// Encode/decode round-trips for arbitrary representable floats.
+    #[test]
+    fn float_encode_roundtrip(
+        fmt in float_formats(),
+        x in -1.0e5f64..1.0e5,
+    ) {
+        let rng = SrRng::new(0);
+        let v = fmt.quantize(x, Rounding::Nearest, &rng, 0);
+        prop_assert_eq!(fmt.decode(fmt.encode(v)), v);
+    }
+
+    /// Encode/decode round-trips for fixed point.
+    #[test]
+    fn fixed_encode_roundtrip(
+        fmt in fixed_formats(),
+        x in -1.0e5f64..1.0e5,
+    ) {
+        let rng = SrRng::new(0);
+        let v = fmt.quantize(x, Rounding::Nearest, &rng, 0);
+        prop_assert_eq!(fmt.decode(fmt.encode(v)), v);
+    }
+
+    /// The unified Quantizer agrees with the underlying format.
+    #[test]
+    fn quantizer_agrees_with_format(
+        fmt in float_formats(),
+        mode in all_modes(),
+        x in -1.0e4f32..1.0e4,
+        idx in 0u64..128,
+    ) {
+        let q = Quantizer::float(fmt, mode).with_seed(5);
+        let direct = fmt.quantize(x as f64, mode, &SrRng::new(5), idx) as f32;
+        prop_assert_eq!(q.quantize_f32(x, idx), direct);
+    }
+
+    /// Stochastic rounding is unbiased: over many event indices the
+    /// mean error is far below one ULP.
+    #[test]
+    fn stochastic_unbiased_float(fmt in float_formats(), x in 0.1f64..100.0) {
+        if x > fmt.max_value() {
+            return Ok(());
+        }
+        let rng = SrRng::new(11);
+        let sr = Rounding::Stochastic { random_bits: 16 };
+        let n = 4096u64;
+        let mean: f64 = (0..n).map(|i| fmt.quantize(x, sr, &rng, i)).sum::<f64>() / n as f64;
+        let exp = x.log2().floor() as i32;
+        let ulp = 2f64.powi(exp.max(fmt.min_exp()) - fmt.man_bits() as i32);
+        prop_assert!((mean - x).abs() < ulp * 0.1 + 1e-12, "mean={mean} x={x} ulp={ulp}");
+    }
+}

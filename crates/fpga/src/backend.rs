@@ -1,0 +1,125 @@
+//! [`GemmBackend`] implementation: training through the accelerator.
+//!
+//! Wrapping an [`Accelerator`] as [`FpgaBackend`] lets the `mpt-nn`
+//! tape execute every quantized GEMM of a training step on the
+//! simulated hardware — the paper's `device='fpga'` — while
+//! accumulating the measured latency of each launch. Functional
+//! results stay bit-identical to the CPU path.
+
+use crate::sim::Accelerator;
+use mpt_arith::{GemmBackend, QGemmConfig};
+use mpt_tensor::{ShapeError, Tensor};
+use std::cell::{Cell, RefCell};
+
+/// A GEMM backend that executes on the simulated FPGA accelerator and
+/// keeps a running account of measured hardware time.
+///
+/// # Example
+///
+/// ```
+/// use mpt_fpga::{Accelerator, FpgaBackend, SaConfig};
+/// use mpt_arith::{GemmBackend, QGemmConfig};
+/// use mpt_tensor::Tensor;
+///
+/// let backend = FpgaBackend::new(Accelerator::new(SaConfig::new(4, 4, 2)?, 328.4));
+/// let a = Tensor::ones(vec![3, 5]);
+/// let b = Tensor::ones(vec![5, 2]);
+/// backend.gemm(&a, &b, &QGemmConfig::fp8_fp12_sr())?;
+/// assert_eq!(backend.gemm_count(), 1);
+/// assert!(backend.elapsed_s() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FpgaBackend {
+    accelerator: Accelerator,
+    elapsed_s: RefCell<f64>,
+    gemms: Cell<usize>,
+}
+
+impl FpgaBackend {
+    /// Wraps an accelerator.
+    pub fn new(accelerator: Accelerator) -> Self {
+        FpgaBackend { accelerator, elapsed_s: RefCell::new(0.0), gemms: Cell::new(0) }
+    }
+
+    /// The wrapped accelerator.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accelerator
+    }
+
+    /// Total measured hardware time accumulated so far, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        *self.elapsed_s.borrow()
+    }
+
+    /// Number of GEMM launches so far.
+    pub fn gemm_count(&self) -> usize {
+        self.gemms.get()
+    }
+
+    /// Resets the accumulated counters.
+    pub fn reset(&self) {
+        *self.elapsed_s.borrow_mut() = 0.0;
+        self.gemms.set(0);
+    }
+}
+
+impl GemmBackend for FpgaBackend {
+    fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
+        let (out, latency) = self.accelerator.execute(a, b, cfg)?;
+        *self.elapsed_s.borrow_mut() += latency.total_s;
+        self.gemms.set(self.gemms.get() + 1);
+        Ok(out)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "fpga{}@{:.1}MHz",
+            self.accelerator.config(),
+            self.accelerator.freq_mhz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SaConfig;
+    use mpt_arith::{qgemm, CpuBackend};
+
+    #[test]
+    fn matches_cpu_backend_bitwise() {
+        let a = Tensor::from_fn(vec![9, 13], |i| ((i * 29 % 31) as f32 - 15.0) * 0.04);
+        let b = Tensor::from_fn(vec![13, 6], |i| ((i * 23 % 29) as f32 - 14.0) * 0.05);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(8);
+        let fpga = FpgaBackend::new(Accelerator::new(SaConfig::new(8, 4, 3).unwrap(), 197.7));
+        let cpu = CpuBackend::new();
+        assert_eq!(
+            fpga.gemm(&a, &b, &cfg).unwrap(),
+            cpu.gemm(&a, &b, &cfg).unwrap()
+        );
+        assert_eq!(fpga.gemm(&a, &b, &cfg).unwrap(), qgemm(&a, &b, &cfg).unwrap());
+    }
+
+    #[test]
+    fn accounts_time_and_launches() {
+        let a = Tensor::ones(vec![4, 4]);
+        let b = Tensor::ones(vec![4, 4]);
+        let cfg = QGemmConfig::fp8_fp12_sr();
+        let backend = FpgaBackend::new(Accelerator::new(SaConfig::new(2, 2, 1).unwrap(), 320.1));
+        for _ in 0..3 {
+            backend.gemm(&a, &b, &cfg).unwrap();
+        }
+        assert_eq!(backend.gemm_count(), 3);
+        assert!(backend.elapsed_s() > 0.0);
+        backend.reset();
+        assert_eq!(backend.gemm_count(), 0);
+        assert_eq!(backend.elapsed_s(), 0.0);
+    }
+
+    #[test]
+    fn label_names_configuration() {
+        let backend = FpgaBackend::new(Accelerator::new(SaConfig::new(8, 8, 4).unwrap(), 298.0));
+        assert_eq!(backend.label(), "fpga<8,8,4>@298.0MHz");
+    }
+}

@@ -1,0 +1,205 @@
+//! Accelerator configuration and platform constants.
+
+use std::error::Error;
+use std::fmt;
+
+/// Width of one HBM pseudo-channel port on the Alveo U55 (bits).
+pub const HBM_PORT_BITS: usize = 512;
+
+/// Maximum core count: the U55 exposes 32 HBM ports and each core
+/// consumes 3 (two operands + result), capping `C` at 10
+/// (paper Section V-C).
+pub const MAX_CORES: usize = 10;
+
+/// Host↔FPGA PCIe bandwidth in GB/s (PCIe 3.0 ×16). Estimates use the
+/// full figure; measured runs achieve only ~80% of it (paper
+/// Section V-C).
+pub const PCIE_GBPS: f64 = 16.0;
+
+/// Fraction of peak PCIe bandwidth actually achieved on hardware.
+pub const PCIE_EFFICIENCY: f64 = 0.8;
+
+/// Error returned for invalid accelerator configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `N` (PE count) must be a power of two.
+    PeCount(usize),
+    /// `M` (MACs per PE) must be a power of two dividing `N` (or
+    /// equal to it, for the smallest arrays).
+    MacCount {
+        /// Requested PE count.
+        n: usize,
+        /// Requested MAC count.
+        m: usize,
+    },
+    /// `C` must be in `1..=MAX_CORES`.
+    CoreCount(usize),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::PeCount(n) => write!(f, "PE count {n} is not a power of two"),
+            ConfigError::MacCount { n, m } => write!(
+                f,
+                "MAC count {m} invalid for {n} PEs (must be a power of two with m == n or 2m == n)"
+            ),
+            ConfigError::CoreCount(c) => {
+                write!(f, "core count {c} outside 1..={MAX_CORES} (32 HBM ports / 3 per core)")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// One accelerator configuration `⟨N, M, C⟩`: `C` systolic-array
+/// cores of `N` PEs × `M` MAC units (paper Table III notation).
+///
+/// # Example
+///
+/// ```
+/// use mpt_fpga::SaConfig;
+///
+/// let cfg = SaConfig::new(8, 8, 10)?;
+/// assert_eq!(cfg.macs_per_core(), 64);
+/// assert_eq!(cfg.total_macs(), 640);
+/// # Ok::<(), mpt_fpga::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaConfig {
+    n: usize,
+    m: usize,
+    c: usize,
+}
+
+impl SaConfig {
+    /// Validates and creates a configuration.
+    ///
+    /// The constraint set follows the paper (Section V-C): `N` and `M`
+    /// are powers of two with `M == N` or `2·M == N` (every Table III
+    /// point), and `C ≤ 10` from the HBM port budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the violated constraint.
+    pub fn new(n: usize, m: usize, c: usize) -> Result<Self, ConfigError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(ConfigError::PeCount(n));
+        }
+        if m == 0 || !m.is_power_of_two() || !(m == n || 2 * m == n) {
+            return Err(ConfigError::MacCount { n, m });
+        }
+        if c == 0 || c > MAX_CORES {
+            return Err(ConfigError::CoreCount(c));
+        }
+        Ok(SaConfig { n, m, c })
+    }
+
+    /// Number of PEs per core (`N`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of MAC units per PE (`M`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of cores (`C`).
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// MAC units per core, `N·M` — the compute tile `T_MAC`.
+    pub fn macs_per_core(&self) -> usize {
+        self.n * self.m
+    }
+
+    /// Total MAC units on the device.
+    pub fn total_macs(&self) -> usize {
+        self.n * self.m * self.c
+    }
+
+    /// The row compute tile `T_PE = N`.
+    pub fn t_pe(&self) -> usize {
+        self.n
+    }
+
+    /// The column compute tile `T_MAC = N·M`.
+    pub fn t_mac(&self) -> usize {
+        self.n * self.m
+    }
+
+    /// The memory tile for `bits`-wide elements:
+    /// `T_mem = 512 / bits` (paper stage-2 padding).
+    pub fn t_mem(bits: u32) -> usize {
+        HBM_PORT_BITS / bits.max(1) as usize
+    }
+
+    /// Same configuration with a different core count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::CoreCount`] if out of range.
+    pub fn with_cores(self, c: usize) -> Result<Self, ConfigError> {
+        SaConfig::new(self.n, self.m, c)
+    }
+}
+
+impl fmt::Display for SaConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{},{}>", self.n, self.m, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_every_table_iii_point() {
+        for (n, m) in [(1, 1), (2, 1), (2, 2), (4, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16), (32, 16), (32, 32), (64, 32)] {
+            assert!(SaConfig::new(n, m, 1).is_ok(), "<{n},{m},1> rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_shapes() {
+        assert!(SaConfig::new(3, 1, 1).is_err());
+        assert!(SaConfig::new(8, 2, 1).is_err()); // m too small
+        assert!(SaConfig::new(4, 8, 1).is_err()); // m > n
+        assert!(SaConfig::new(8, 8, 0).is_err());
+        assert!(SaConfig::new(8, 8, 11).is_err());
+        assert!(SaConfig::new(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn tiles() {
+        let cfg = SaConfig::new(8, 4, 2).unwrap();
+        assert_eq!(cfg.t_pe(), 8);
+        assert_eq!(cfg.t_mac(), 32);
+        assert_eq!(cfg.total_macs(), 64);
+        assert_eq!(SaConfig::t_mem(8), 64);
+        assert_eq!(SaConfig::t_mem(12), 42);
+        assert_eq!(SaConfig::t_mem(32), 16);
+    }
+
+    #[test]
+    fn with_cores_revalidates() {
+        let cfg = SaConfig::new(8, 8, 1).unwrap();
+        assert!(cfg.with_cores(10).is_ok());
+        assert!(cfg.with_cores(11).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(SaConfig::new(16, 8, 10).unwrap().to_string(), "<16,8,10>");
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(SaConfig::new(3, 1, 1).unwrap_err().to_string().contains("power of two"));
+        assert!(SaConfig::new(8, 8, 99).unwrap_err().to_string().contains("HBM"));
+    }
+}

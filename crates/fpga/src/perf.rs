@@ -1,0 +1,164 @@
+//! The analytic performance model (paper Section IV-A).
+//!
+//! For a GEMM padded to `(n_comp, k_mem, m_comp)` on a core of `N×M`
+//! MACs at frequency `F`:
+//!
+//! ```text
+//! L_MAC   = n_comp · m_comp · k_mem / (N · M · F)
+//! L_write = n_comp · m_comp / (T_out · F),   T_out = M
+//! L_core  = L_MAC + L_write
+//! L_data  = S_data / B_PCIe
+//! L_total = L_core + L_data
+//! ```
+//!
+//! Reads from HBM overlap with compute, so only result write-back and
+//! the PCIe transfer add to the MAC time.
+
+use crate::config::{SaConfig, PCIE_GBPS};
+use crate::padding::PaddedGemm;
+use mpt_arith::GemmShape;
+
+/// Latency breakdown of one GEMM on the accelerator, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Latency {
+    /// MAC computation time.
+    pub mac_s: f64,
+    /// Result write-back time.
+    pub write_s: f64,
+    /// Host↔HBM transfer time over PCIe.
+    pub data_s: f64,
+    /// `L_total = (mac + write) + data`.
+    pub total_s: f64,
+}
+
+impl Latency {
+    /// Core-only time (`L_MAC + L_write`).
+    pub fn core_s(&self) -> f64 {
+        self.mac_s + self.write_s
+    }
+}
+
+/// Estimates the latency of one GEMM (with `A` partitioned across the
+/// cores) on `cfg` at `freq_mhz`, with `in_bits`-wide operands and
+/// `out_bits`-wide results.
+pub fn estimate_gemm(
+    shape: GemmShape,
+    cfg: SaConfig,
+    freq_mhz: f64,
+    in_bits: u32,
+    out_bits: u32,
+) -> Latency {
+    let padded = PaddedGemm::new(shape, cfg, in_bits);
+    estimate_padded(&padded, cfg, freq_mhz, in_bits, out_bits)
+}
+
+/// Estimates latency from an explicit padded shape (used by the
+/// mapping search to avoid re-padding).
+pub fn estimate_padded(
+    padded: &PaddedGemm,
+    cfg: SaConfig,
+    freq_mhz: f64,
+    in_bits: u32,
+    out_bits: u32,
+) -> Latency {
+    let f = freq_mhz * 1.0e6;
+    let mac_s = padded.core_macs() as f64 / (cfg.macs_per_core() as f64 * f);
+    let write_s = (padded.n_comp * padded.m_comp) as f64 / (cfg.m() as f64 * f);
+    // PCIe bytes: inputs at the operand width, result at out_bits.
+    let in_bytes = (cfg.c() * padded.n_core * padded.k_mem + padded.k_mem * padded.m_mem)
+        as f64
+        * in_bits as f64
+        / 8.0;
+    let out_bytes =
+        (cfg.c() * padded.n_core * padded.m_mem) as f64 * out_bits as f64 / 8.0;
+    let data_s = (in_bytes + out_bytes) / (PCIE_GBPS * 1.0e9);
+    Latency { mac_s, write_s, data_s, total_s: mac_s + write_s + data_s }
+}
+
+/// Estimates the total latency of a training iteration: the sum over
+/// all of the workload's (sequential) GEMMs, each with its best
+/// transpose/partition mapping (paper Section IV-B).
+pub fn estimate_workload(
+    workload: &[GemmShape],
+    cfg: SaConfig,
+    freq_mhz: f64,
+    in_bits: u32,
+    out_bits: u32,
+) -> f64 {
+    workload
+        .iter()
+        .map(|&s| {
+            crate::mapping::best_mapping(s, cfg, freq_mhz, in_bits, out_bits)
+                .latency
+                .total_s
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, m: usize, c: usize) -> SaConfig {
+        SaConfig::new(n, m, c).expect("valid")
+    }
+
+    #[test]
+    fn mac_latency_formula() {
+        // Fully aligned GEMM: no padding, hand-checkable numbers.
+        let shape = GemmShape::new(64, 64, 64);
+        let l = estimate_gemm(shape, cfg(8, 8, 1), 100.0, 8, 8);
+        // n_comp*m_comp*k_mem / (64 MACs * 100 MHz)
+        let expect = (64.0 * 64.0 * 64.0) / (64.0 * 100.0e6);
+        assert!((l.mac_s - expect).abs() < 1e-15, "{} vs {expect}", l.mac_s);
+        // write: 64*64 / (8 * 100 MHz)
+        let expect_w = (64.0 * 64.0) / (8.0 * 100.0e6);
+        assert!((l.write_s - expect_w).abs() < 1e-15);
+        assert!((l.total_s - (l.mac_s + l.write_s + l.data_s)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn more_cores_reduce_core_time() {
+        let shape = GemmShape::new(1024, 512, 512);
+        let l1 = estimate_gemm(shape, cfg(8, 8, 1), 200.0, 8, 8);
+        let l4 = estimate_gemm(shape, cfg(8, 8, 4), 200.0, 8, 8);
+        assert!(l4.core_s() < l1.core_s() / 3.0, "{} vs {}", l4.core_s(), l1.core_s());
+    }
+
+    #[test]
+    fn higher_frequency_scales_core_time() {
+        let shape = GemmShape::new(512, 512, 512);
+        let slow = estimate_gemm(shape, cfg(8, 8, 2), 100.0, 8, 8);
+        let fast = estimate_gemm(shape, cfg(8, 8, 2), 200.0, 8, 8);
+        assert!((slow.core_s() / fast.core_s() - 2.0).abs() < 1e-9);
+        // PCIe time is frequency-independent.
+        assert_eq!(slow.data_s, fast.data_s);
+    }
+
+    #[test]
+    fn small_gemm_dominated_by_padding() {
+        // A 1x1x1 GEMM on a 64x32 array still pays a full tile.
+        let l = estimate_gemm(GemmShape::new(1, 1, 1), cfg(64, 32, 1), 150.0, 8, 8);
+        let work = estimate_gemm(GemmShape::new(64, 512, 2048), cfg(64, 32, 1), 150.0, 8, 8);
+        // The tiny GEMM costs the same MAC time as one full tile pass.
+        assert!(l.mac_s > 0.0);
+        assert!(work.mac_s > l.mac_s);
+    }
+
+    #[test]
+    fn wider_outputs_cost_more_pcie() {
+        let shape = GemmShape::new(256, 256, 256);
+        let narrow = estimate_gemm(shape, cfg(8, 8, 2), 200.0, 8, 8);
+        let wide = estimate_gemm(shape, cfg(8, 8, 2), 200.0, 8, 32);
+        assert!(wide.data_s > narrow.data_s);
+        assert_eq!(wide.mac_s, narrow.mac_s);
+    }
+
+    #[test]
+    fn workload_sums_gemms() {
+        let w = vec![GemmShape::new(64, 64, 64); 3];
+        let one = estimate_workload(&w[..1], cfg(8, 8, 1), 100.0, 8, 8);
+        let three = estimate_workload(&w, cfg(8, 8, 1), 100.0, 8, 8);
+        assert!((three - 3.0 * one).abs() < 1e-12);
+    }
+}

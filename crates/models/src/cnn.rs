@@ -1,0 +1,133 @@
+//! LeNet5 and VGG16 (plus scaled presets).
+
+use mpt_nn::{Conv2d, Flatten, GemmPrecision, Linear, MaxPool2d, Relu, Sequential};
+
+/// Builds LeNet5 for 1×28×28 inputs (the paper's MNIST benchmark):
+/// two 5×5 convolutions with 2×2 max-pooling, then 120/84/10 fully
+/// connected layers.
+pub fn lenet5(prec: GemmPrecision, seed: u64) -> Sequential {
+    Sequential::new()
+        // 1x28x28 -> 6x28x28 -> 6x14x14
+        .push(Conv2d::new(1, 6, 5, 1, 2, (28, 28), prec, seed + 1))
+        .push(Relu)
+        .push(MaxPool2d)
+        // 6x14x14 -> 16x10x10 -> 16x5x5
+        .push(Conv2d::new(6, 16, 5, 1, 0, (14, 14), prec, seed + 2))
+        .push(Relu)
+        .push(MaxPool2d)
+        .push(Flatten)
+        .push(Linear::new(16 * 5 * 5, 120, prec, seed + 3))
+        .push(Relu)
+        .push(Linear::new(120, 84, prec, seed + 4))
+        .push(Relu)
+        .push(Linear::new(84, 10, prec, seed + 5))
+}
+
+/// Width/depth scaling of the VGG16 builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VggScale {
+    /// The paper's VGG16 for 3×32×32 CIFAR10 inputs (13 conv layers).
+    Paper,
+    /// A width-divided, depth-reduced variant for fast experiments on
+    /// the synthetic CIFAR stand-in (divisor 8, one conv per stage).
+    Scaled,
+    /// Four-stage variant for 16×16 inputs (quarter the conv compute).
+    Scaled16,
+}
+
+/// Builds VGG16 (or a scaled preset) for 3×32×32 (or 3×16×16) inputs.
+pub fn vgg(scale: VggScale, prec: GemmPrecision, seed: u64) -> Sequential {
+    // (out_channels, convs_in_stage) per stage; every stage ends with
+    // a 2x2 max-pool halving the spatial size.
+    let stages: Vec<(usize, usize)> = match scale {
+        VggScale::Paper => vec![(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)],
+        VggScale::Scaled => vec![(8, 1), (16, 1), (32, 1), (64, 1), (64, 1)],
+        VggScale::Scaled16 => vec![(8, 1), (16, 1), (32, 1), (64, 1)],
+    };
+    let mut model = Sequential::new();
+    let mut in_c = 3;
+    let mut hw = if scale == VggScale::Scaled16 { 16 } else { 32 };
+    let mut layer_seed = seed;
+    for (out_c, convs) in stages {
+        for _ in 0..convs {
+            layer_seed += 1;
+            model = model
+                .push(Conv2d::new(in_c, out_c, 3, 1, 1, (hw, hw), prec, layer_seed))
+                .push(Relu);
+            in_c = out_c;
+        }
+        model = model.push(MaxPool2d);
+        hw /= 2;
+    }
+    // After five pools: 1x1 spatial.
+    let (fc1, fc2) = match scale {
+        VggScale::Paper => (512, 512),
+        VggScale::Scaled | VggScale::Scaled16 => (64, 32),
+    };
+    model
+        .push(Flatten)
+        .push(Linear::new(in_c * hw * hw, fc1, prec, layer_seed + 10))
+        .push(Relu)
+        .push(Linear::new(fc1, fc2, prec, layer_seed + 11))
+        .push(Relu)
+        .push(Linear::new(fc2, 10, prec, layer_seed + 12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_nn::{Graph, Layer};
+    use mpt_tensor::Tensor;
+
+    #[test]
+    fn lenet5_forward_shape() {
+        let model = lenet5(GemmPrecision::fp32(), 0);
+        let mut g = Graph::new(false);
+        let x = g.input(Tensor::ones(vec![2, 1, 28, 28]));
+        let y = model.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn lenet5_parameter_count() {
+        // Classic LeNet5 (this variant): conv1 6*(1*25)+6, conv2
+        // 16*(6*25)+16, fc 400*120+120, 120*84+84, 84*10+10.
+        let model = lenet5(GemmPrecision::fp32(), 0);
+        let total: usize = model.parameters().iter().map(|p| p.numel()).sum();
+        assert_eq!(total, 156 + 2416 + 48_120 + 10_164 + 850);
+    }
+
+    #[test]
+    fn vgg_scaled_forward_shape() {
+        let model = vgg(VggScale::Scaled, GemmPrecision::fp32(), 0);
+        let mut g = Graph::new(false);
+        let x = g.input(Tensor::ones(vec![1, 3, 32, 32]));
+        let y = model.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn vgg_paper_has_16_weight_layers() {
+        let model = vgg(VggScale::Paper, GemmPrecision::fp32(), 0);
+        // 13 convs + 3 linears, 2 params each.
+        assert_eq!(model.parameters().len(), 32);
+    }
+
+    #[test]
+    fn lenet5_trains_one_step_without_nan() {
+        use mpt_nn::{Optimizer, Sgd};
+        let model = lenet5(GemmPrecision::fp32(), 1);
+        let params = model.parameters();
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::from_fn(vec![4, 1, 28, 28], |i| ((i % 17) as f32 - 8.0) * 0.1));
+        let logits = model.forward(&mut g, x);
+        let loss = g.cross_entropy(logits, &[0, 1, 2, 3]);
+        assert!(g.value(loss).item().is_finite());
+        g.backward(loss, 1.0);
+        opt.step(&params);
+        for p in &params {
+            assert!(p.value().all_finite(), "{} became non-finite", p.name());
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Paper-scale model descriptions and GEMM workload extraction.
+//!
+//! A training iteration is "a series of GEMM operations" (paper
+//! Section IV-A); the performance model sums the latency of each. A
+//! [`ModelDesc`] enumerates every GEMM of one iteration — forward
+//! product plus the two backward products per weight layer — at the
+//! paper's full model sizes and batch sizes, independent of the
+//! scaled trainable models used for the accuracy experiments.
+
+use mpt_arith::GemmShape;
+
+/// One weight-bearing layer, described by shape only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerDesc {
+    /// Convolution lowered through im2col.
+    Conv {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Output pixels per image (`oh · ow`).
+        out_pixels: usize,
+    },
+    /// Fully-connected layer applied to `tokens` rows per sample.
+    Linear {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+        /// Rows per sample (1 for CNN heads, sequence length for
+        /// transformer projections).
+        tokens: usize,
+    },
+    /// Scaled-dot-product attention core of one block (the two
+    /// batched products `Q·Kᵀ` and `P·V`, per head).
+    Attention {
+        /// Sequence length.
+        tokens: usize,
+        /// Number of heads.
+        heads: usize,
+        /// Per-head feature size.
+        head_dim: usize,
+    },
+}
+
+impl LayerDesc {
+    /// GEMMs contributed by this layer to one training iteration at
+    /// batch size `batch`: the forward product and the two backward
+    /// products (input gradient, weight gradient); attention
+    /// contributes its products per head and per sample.
+    pub fn training_gemms(&self, batch: usize) -> Vec<GemmShape> {
+        match *self {
+            LayerDesc::Conv { in_c, out_c, kernel, out_pixels } => {
+                let ckk = in_c * kernel * kernel;
+                let np = batch * out_pixels;
+                vec![
+                    GemmShape::new(out_c, ckk, np), // forward
+                    GemmShape::new(out_c, np, ckk), // dW = dY · colsᵀ
+                    GemmShape::new(ckk, out_c, np), // dcols = Wᵀ · dY
+                ]
+            }
+            LayerDesc::Linear { in_f, out_f, tokens } => {
+                let rows = batch * tokens;
+                vec![
+                    GemmShape::new(rows, in_f, out_f), // forward
+                    GemmShape::new(rows, out_f, in_f), // dX = dY · W
+                    GemmShape::new(out_f, rows, in_f), // dW = dYᵀ · X
+                ]
+            }
+            LayerDesc::Attention { tokens, heads, head_dim } => {
+                let per_head = [
+                    GemmShape::new(tokens, head_dim, tokens), // scores = Q·Kᵀ
+                    GemmShape::new(tokens, tokens, head_dim), // dQ = dS · K
+                    GemmShape::new(head_dim, tokens, tokens), // dK = Qᵀ · dS (transposed view)
+                    GemmShape::new(tokens, tokens, head_dim), // ctx = P·V
+                    GemmShape::new(tokens, head_dim, tokens), // dP = dC · Vᵀ
+                    GemmShape::new(tokens, tokens, head_dim), // dV = Pᵀ · dC
+                ];
+                let mut out = Vec::with_capacity(batch * heads * per_head.len());
+                for _ in 0..batch * heads {
+                    out.extend_from_slice(&per_head);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A named model at paper scale with its training batch size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelDesc {
+    name: &'static str,
+    batch: usize,
+    layers: Vec<LayerDesc>,
+}
+
+impl ModelDesc {
+    /// The model's name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Training batch size (paper Section V-A).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The layer descriptions.
+    pub fn layers(&self) -> &[LayerDesc] {
+        &self.layers
+    }
+
+    /// Every GEMM of one training iteration, in execution order.
+    pub fn training_gemms(&self) -> Vec<GemmShape> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.training_gemms(self.batch))
+            .collect()
+    }
+
+    /// Total MAC count of one training iteration.
+    pub fn total_macs(&self) -> usize {
+        self.training_gemms().iter().map(|g| g.macs()).sum()
+    }
+
+    /// All five paper benchmarks.
+    pub fn all_benchmarks() -> Vec<ModelDesc> {
+        vec![
+            ModelDesc::lenet5(64),
+            ModelDesc::vgg16(128),
+            ModelDesc::resnet20(128),
+            ModelDesc::resnet50(16),
+            ModelDesc::nanogpt(64),
+        ]
+    }
+
+    /// LeNet5 on 1×28×28 MNIST (paper batch 64).
+    pub fn lenet5(batch: usize) -> ModelDesc {
+        ModelDesc {
+            name: "LeNet5",
+            batch,
+            layers: vec![
+                LayerDesc::Conv { in_c: 1, out_c: 6, kernel: 5, out_pixels: 28 * 28 },
+                LayerDesc::Conv { in_c: 6, out_c: 16, kernel: 5, out_pixels: 10 * 10 },
+                LayerDesc::Linear { in_f: 400, out_f: 120, tokens: 1 },
+                LayerDesc::Linear { in_f: 120, out_f: 84, tokens: 1 },
+                LayerDesc::Linear { in_f: 84, out_f: 10, tokens: 1 },
+            ],
+        }
+    }
+
+    /// ResNet-20 on 3×32×32 CIFAR10 (paper batch 128).
+    pub fn resnet20(batch: usize) -> ModelDesc {
+        let mut layers = vec![LayerDesc::Conv { in_c: 3, out_c: 16, kernel: 3, out_pixels: 32 * 32 }];
+        // (width, blocks, spatial) per stage; stride-2 entry convs.
+        let stages = [(16usize, 3usize, 32usize), (32, 3, 16), (64, 3, 8)];
+        let mut in_c = 16;
+        for (si, &(w, blocks, hw)) in stages.iter().enumerate() {
+            for b in 0..blocks {
+                let first = b == 0 && si > 0;
+                let px = hw * hw;
+                layers.push(LayerDesc::Conv { in_c, out_c: w, kernel: 3, out_pixels: px });
+                layers.push(LayerDesc::Conv { in_c: w, out_c: w, kernel: 3, out_pixels: px });
+                if first {
+                    layers.push(LayerDesc::Conv { in_c, out_c: w, kernel: 1, out_pixels: px });
+                }
+                in_c = w;
+            }
+        }
+        layers.push(LayerDesc::Linear { in_f: 64, out_f: 10, tokens: 1 });
+        ModelDesc { name: "ResNet20", batch, layers }
+    }
+
+    /// VGG16 on 3×32×32 CIFAR10 (paper batch 128).
+    pub fn vgg16(batch: usize) -> ModelDesc {
+        let mut layers = Vec::new();
+        let stages = [
+            (64usize, 2usize, 32usize),
+            (128, 2, 16),
+            (256, 3, 8),
+            (512, 3, 4),
+            (512, 3, 2),
+        ];
+        let mut in_c = 3;
+        for &(w, convs, hw) in &stages {
+            for _ in 0..convs {
+                layers.push(LayerDesc::Conv { in_c, out_c: w, kernel: 3, out_pixels: hw * hw });
+                in_c = w;
+            }
+        }
+        layers.push(LayerDesc::Linear { in_f: 512, out_f: 512, tokens: 1 });
+        layers.push(LayerDesc::Linear { in_f: 512, out_f: 512, tokens: 1 });
+        layers.push(LayerDesc::Linear { in_f: 512, out_f: 10, tokens: 1 });
+        ModelDesc { name: "VGG16", batch, layers }
+    }
+
+    /// ResNet-50 on 3×224×224 Imagewoof (paper batch 16).
+    pub fn resnet50(batch: usize) -> ModelDesc {
+        let mut layers = vec![
+            // 7x7/2 stem: 224 -> 112, then 3x3/2 max-pool -> 56.
+            LayerDesc::Conv { in_c: 3, out_c: 64, kernel: 7, out_pixels: 112 * 112 },
+        ];
+        let stages = [
+            (64usize, 3usize, 56usize),
+            (128, 4, 28),
+            (256, 6, 14),
+            (512, 3, 7),
+        ];
+        let mut in_c = 64;
+        for (si, &(w, blocks, hw)) in stages.iter().enumerate() {
+            for b in 0..blocks {
+                let px = hw * hw;
+                // Bottleneck: 1x1 reduce, 3x3, 1x1 expand (x4).
+                layers.push(LayerDesc::Conv { in_c, out_c: w, kernel: 1, out_pixels: px });
+                layers.push(LayerDesc::Conv { in_c: w, out_c: w, kernel: 3, out_pixels: px });
+                layers.push(LayerDesc::Conv { in_c: w, out_c: w * 4, kernel: 1, out_pixels: px });
+                if b == 0 {
+                    // Projection shortcut.
+                    layers.push(LayerDesc::Conv { in_c, out_c: w * 4, kernel: 1, out_pixels: px });
+                }
+                in_c = w * 4;
+                let _ = si;
+            }
+        }
+        layers.push(LayerDesc::Linear { in_f: 2048, out_f: 10, tokens: 1 });
+        ModelDesc { name: "ResNet50", batch, layers }
+    }
+
+    /// NanoGPT on the Shakespeare character corpus (6L/6H/384E,
+    /// block 256, vocab 65; batch 64).
+    pub fn nanogpt(batch: usize) -> ModelDesc {
+        let (layers_n, heads, embed, t, vocab) = (6usize, 6usize, 384usize, 256usize, 65usize);
+        let mut layers = Vec::new();
+        for _ in 0..layers_n {
+            layers.push(LayerDesc::Linear { in_f: embed, out_f: 3 * embed, tokens: t }); // QKV
+            layers.push(LayerDesc::Attention { tokens: t, heads, head_dim: embed / heads });
+            layers.push(LayerDesc::Linear { in_f: embed, out_f: embed, tokens: t }); // proj
+            layers.push(LayerDesc::Linear { in_f: embed, out_f: 4 * embed, tokens: t }); // MLP fc
+            layers.push(LayerDesc::Linear { in_f: 4 * embed, out_f: embed, tokens: t }); // MLP proj
+        }
+        layers.push(LayerDesc::Linear { in_f: embed, out_f: vocab, tokens: t }); // LM head
+        ModelDesc { name: "Nano-GPT", batch, layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_gemms_have_three_products() {
+        let l = LayerDesc::Conv { in_c: 3, out_c: 16, kernel: 3, out_pixels: 1024 };
+        let g = l.training_gemms(8);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0], GemmShape::new(16, 27, 8192));
+        // The backward products permute the same three dimensions.
+        assert_eq!(g[0].macs(), g[1].macs());
+        assert_eq!(g[0].macs(), g[2].macs());
+    }
+
+    #[test]
+    fn linear_gemms_balance() {
+        let l = LayerDesc::Linear { in_f: 400, out_f: 120, tokens: 1 };
+        let g = l.training_gemms(64);
+        assert_eq!(g.len(), 3);
+        assert!(g.iter().all(|s| s.macs() == 64 * 400 * 120));
+    }
+
+    #[test]
+    fn attention_gemm_count_scales_with_heads_and_batch() {
+        let l = LayerDesc::Attention { tokens: 8, heads: 2, head_dim: 4 };
+        assert_eq!(l.training_gemms(3).len(), 3 * 2 * 6);
+    }
+
+    #[test]
+    fn all_benchmarks_present() {
+        let all = ModelDesc::all_benchmarks();
+        let names: Vec<_> = all.iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["LeNet5", "VGG16", "ResNet20", "ResNet50", "Nano-GPT"]);
+    }
+
+    #[test]
+    fn per_iteration_cost_ordering_matches_paper() {
+        // Table IV orders per-iteration latencies:
+        // LeNet5 << ResNet20 < VGG16 < ResNet50 < Nano-GPT.
+        let lenet = ModelDesc::lenet5(64).total_macs();
+        let r20 = ModelDesc::resnet20(128).total_macs();
+        let vgg = ModelDesc::vgg16(128).total_macs();
+        let r50 = ModelDesc::resnet50(16).total_macs();
+        let gpt = ModelDesc::nanogpt(64).total_macs();
+        assert!(lenet * 10 < r20, "LeNet {lenet} vs ResNet20 {r20}");
+        assert!(r20 < vgg, "ResNet20 {r20} vs VGG {vgg}");
+        assert!(vgg < r50, "VGG {vgg} vs ResNet50 {r50}");
+        assert!(r50 < gpt, "ResNet50 {r50} vs GPT {gpt}");
+    }
+
+    #[test]
+    fn resnet20_conv_flops_sane() {
+        // Forward MACs of ResNet-20 at batch 1 are ~41M (literature
+        // value: ~40.8M fwd); training ≈ 3x that.
+        let m = ModelDesc::resnet20(1);
+        let total = m.total_macs();
+        assert!(
+            (100_000_000..200_000_000).contains(&total),
+            "ResNet-20 training MACs {total}"
+        );
+    }
+
+    #[test]
+    fn lenet_shapes_match_hand_computation() {
+        let m = ModelDesc::lenet5(64);
+        let g = m.training_gemms();
+        // First conv forward: (6, 25) x (25, 64*784).
+        assert_eq!(g[0], GemmShape::new(6, 25, 50_176));
+        // First linear forward: (64, 400) x (400, 120).
+        assert_eq!(g[6], GemmShape::new(64, 400, 120));
+    }
+}

@@ -1,0 +1,35 @@
+//! # mpt-models — the paper's benchmark models
+//!
+//! Two views of each benchmark network:
+//!
+//! 1. **Trainable models** built on `mpt-nn` ([`lenet5`], [`vgg`],
+//!    [`ResNet`], [`NanoGpt`]), with both paper-scale and *scaled*
+//!    presets — the accuracy experiments of Table II / Fig. 6 run the
+//!    scaled presets on synthetic data (see DESIGN.md,
+//!    "Substitutions").
+//! 2. **Shape descriptions** ([`ModelDesc`]) that enumerate every GEMM
+//!    of one training iteration at full paper scale — what the FPGA
+//!    performance model (Table IV, Fig. 7) consumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpt_models::ModelDesc;
+//!
+//! let lenet = ModelDesc::lenet5(64); // paper batch size
+//! let gemms = lenet.training_gemms();
+//! assert!(!gemms.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod describe;
+pub mod nanogpt;
+pub mod resnet;
+
+pub use cnn::{lenet5, vgg, VggScale};
+pub use describe::{LayerDesc, ModelDesc};
+pub use nanogpt::{NanoGpt, NanoGptConfig};
+pub use resnet::{ResNet, ResNetKind};

@@ -1,0 +1,250 @@
+//! Causal self-attention and the transformer block used by the
+//! NanoGPT benchmark (paper Section V-A-2: 6 layers, 6 heads,
+//! 384 embedding, block size 256 — scaled presets live in
+//! `mpt-models`).
+//!
+//! The attention score and value products run through the quantized
+//! batched GEMM, one GEMM per head, so transformer training exercises
+//! the same custom arithmetic path as the CNNs.
+
+use crate::layers::{Layer, LayerNorm, Linear};
+use crate::param::Parameter;
+use crate::precision::GemmPrecision;
+use crate::tape::{Graph, NodeId};
+
+/// Multi-head causal self-attention over a `[tokens, embed]` node.
+#[derive(Debug)]
+pub struct CausalSelfAttention {
+    qkv: Linear,
+    proj: Linear,
+    heads: usize,
+    embed: usize,
+    dropout: f32,
+    prec: GemmPrecision,
+    seed: u64,
+}
+
+impl CausalSelfAttention {
+    /// Creates attention with `heads` heads over `embed` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `heads` divides `embed`.
+    pub fn new(embed: usize, heads: usize, dropout: f32, prec: GemmPrecision, seed: u64) -> Self {
+        assert_eq!(embed % heads, 0, "heads must divide the embedding size");
+        CausalSelfAttention {
+            qkv: Linear::new(embed, 3 * embed, prec, seed.wrapping_mul(31).wrapping_add(1)),
+            proj: Linear::new(embed, embed, prec, seed.wrapping_mul(31).wrapping_add(2)),
+            heads,
+            embed,
+            dropout,
+            prec,
+            seed,
+        }
+    }
+
+    fn precision(&self) -> GemmPrecision {
+        // Attention score/value GEMMs run in the layer's precision,
+        // with a distinct sub-seed per use site set by the caller.
+        self.prec
+    }
+
+    /// Runs attention; `step` decorrelates dropout masks across
+    /// training steps.
+    pub fn forward_step(&self, g: &mut Graph, x: NodeId, step: u64) -> NodeId {
+        let t = g.value(x).shape()[0];
+        let hs = self.embed / self.heads;
+
+        let qkv = self.qkv.forward(g, x); // [T, 3C]
+        let q = g.slice_cols(qkv, 0, self.embed);
+        let k = g.slice_cols(qkv, self.embed, 2 * self.embed);
+        let v = g.slice_cols(qkv, 2 * self.embed, 3 * self.embed);
+
+        let qh = g.split_heads(q, self.heads); // [H, T, hs]
+        let kh = g.split_heads(k, self.heads);
+        let vh = g.split_heads(v, self.heads);
+
+        let kt = g.transpose_batched(kh); // [H, hs, T]
+        let scores = g.matmul_batched_q(qh, kt, self.precision()); // [H, T, T]
+        let scaled = g.scale(scores, 1.0 / (hs as f32).sqrt());
+        let masked = g.causal_mask(scaled);
+        let probs = g.softmax_batched(masked);
+        let probs = g.dropout(probs, self.dropout, self.seed.wrapping_add(step * 7919 + 1));
+
+        let ctx = g.matmul_batched_q(probs, vh, self.precision()); // [H, T, hs]
+        let merged = g.merge_heads(ctx); // [T, C]
+        debug_assert_eq!(g.value(merged).shape(), &[t, self.embed]);
+        let out = self.proj.forward(g, merged);
+        g.dropout(out, self.dropout, self.seed.wrapping_add(step * 7919 + 2))
+    }
+}
+
+impl Layer for CausalSelfAttention {
+    fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
+        self.forward_step(g, input, 0)
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        let mut p = self.qkv.parameters();
+        p.extend(self.proj.parameters());
+        p
+    }
+}
+
+/// Pre-norm transformer block: `x + attn(ln1(x))`, then
+/// `x + mlp(ln2(x))` with a 4× GELU MLP (the nanoGPT block).
+#[derive(Debug)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: CausalSelfAttention,
+    ln2: LayerNorm,
+    fc: Linear,
+    proj: Linear,
+    dropout: f32,
+    seed: u64,
+}
+
+impl TransformerBlock {
+    /// Creates a block over `embed` features with `heads` heads.
+    pub fn new(embed: usize, heads: usize, dropout: f32, prec: GemmPrecision, seed: u64) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(embed, seed.wrapping_mul(13).wrapping_add(1)),
+            attn: CausalSelfAttention::new(embed, heads, dropout, prec, seed),
+            ln2: LayerNorm::new(embed, seed.wrapping_mul(13).wrapping_add(2)),
+            fc: Linear::new(embed, 4 * embed, prec, seed.wrapping_mul(13).wrapping_add(3)),
+            proj: Linear::new(4 * embed, embed, prec, seed.wrapping_mul(13).wrapping_add(4)),
+            dropout,
+            seed,
+        }
+    }
+
+    /// Runs the block; `step` decorrelates dropout masks.
+    pub fn forward_step(&self, g: &mut Graph, x: NodeId, step: u64) -> NodeId {
+        let normed = self.ln1.forward(g, x);
+        let attn = self.attn.forward_step(g, normed, step);
+        let x = g.add(x, attn);
+
+        let normed = self.ln2.forward(g, x);
+        let h = self.fc.forward(g, normed);
+        let h = g.gelu(h);
+        let h = self.proj.forward(g, h);
+        let h = g.dropout(h, self.dropout, self.seed.wrapping_add(step * 104729 + 3));
+        g.add(x, h)
+    }
+}
+
+impl Layer for TransformerBlock {
+    fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
+        self.forward_step(g, input, 0)
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        let mut p = self.ln1.parameters();
+        p.extend(self.attn.parameters());
+        p.extend(self.ln2.parameters());
+        p.extend(self.fc.parameters());
+        p.extend(self.proj.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_tensor::Tensor;
+
+    #[test]
+    fn attention_preserves_shape() {
+        let attn = CausalSelfAttention::new(8, 2, 0.0, GemmPrecision::fp32(), 0);
+        let mut g = Graph::new(false);
+        let x = g.input(Tensor::from_fn(vec![5, 8], |i| (i as f32 * 0.13).sin()));
+        let y = attn.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[5, 8]);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        // Changing a future token must not affect earlier outputs.
+        let attn = CausalSelfAttention::new(8, 2, 0.0, GemmPrecision::fp32(), 0);
+        let base = Tensor::from_fn(vec![4, 8], |i| (i as f32 * 0.21).cos());
+        let mut changed = base.clone();
+        for v in &mut changed.data_mut()[3 * 8..] {
+            *v += 5.0; // perturb the last token only
+        }
+        let mut g1 = Graph::new(false);
+        let x1 = g1.input(base);
+        let y1 = attn.forward(&mut g1, x1);
+        let mut g2 = Graph::new(false);
+        let x2 = g2.input(changed);
+        let y2 = attn.forward(&mut g2, x2);
+        for i in 0..3 * 8 {
+            assert_eq!(
+                g1.value(y1).data()[i],
+                g2.value(y2).data()[i],
+                "earlier output changed at {i}"
+            );
+        }
+        // The perturbed token's own output does change.
+        assert_ne!(&g1.value(y1).data()[3 * 8..], &g2.value(y2).data()[3 * 8..]);
+    }
+
+    #[test]
+    fn attention_gradients_flow_to_all_params() {
+        let attn = CausalSelfAttention::new(8, 2, 0.0, GemmPrecision::fp32(), 0);
+        let params = attn.parameters();
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::from_fn(vec![4, 8], |i| (i as f32 * 0.31).sin()));
+        let y = attn.forward(&mut g, x);
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss, 1.0);
+        for p in &params {
+            assert!(
+                p.grad().abs_max() > 0.0,
+                "no gradient reached {}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn block_preserves_shape_and_differs_from_input() {
+        let block = TransformerBlock::new(8, 2, 0.0, GemmPrecision::fp32(), 3);
+        let mut g = Graph::new(false);
+        let x = g.input(Tensor::from_fn(vec![6, 8], |i| (i as f32 * 0.17).sin()));
+        let y = block.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[6, 8]);
+        assert_ne!(g.value(y), g.value(x));
+        assert_eq!(block.parameters().len(), 2 + 4 + 2 + 4);
+    }
+
+    #[test]
+    fn block_trains_on_toy_objective() {
+        use crate::optim::{Adam, Optimizer};
+        let block = TransformerBlock::new(8, 2, 0.0, GemmPrecision::fp32(), 5);
+        let head = Linear::new(8, 3, GemmPrecision::fp32(), 6);
+        let mut params = block.parameters();
+        params.extend(head.parameters());
+        let mut opt = Adam::new(3e-3);
+        let input = Tensor::from_fn(vec![4, 8], |i| ((i * 7 % 11) as f32) * 0.2 - 1.0);
+        let targets = [0usize, 2, 1, 0];
+        let mut first = None;
+        let mut last = 0.0;
+        for step in 0..60 {
+            for p in &params {
+                p.zero_grad();
+            }
+            let mut g = Graph::new(true);
+            let x = g.input(input.clone());
+            let h = block.forward_step(&mut g, x, step);
+            let logits = head.forward(&mut g, h);
+            let loss = g.cross_entropy(logits, &targets);
+            last = g.value(loss).item();
+            first.get_or_insert(last);
+            g.backward(loss, 1.0);
+            opt.step(&params);
+        }
+        assert!(last < first.unwrap() * 0.5, "{:?} -> {last}", first.unwrap());
+    }
+}

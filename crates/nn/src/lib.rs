@@ -1,0 +1,59 @@
+//! # mpt-nn — mixed-precision DNN training stack
+//!
+//! A from-scratch training stack standing in for PyTorch in the
+//! MPTorch-FPGA reproduction. It provides:
+//!
+//! * a tape-based autograd engine ([`Graph`]) whose GEMM ops route
+//!   every matrix product — forward and backward — through the
+//!   bit-accurate custom-precision kernels of `mpt-arith`, with
+//!   independently configurable arithmetic for the forward and
+//!   backward passes (paper Fig. 2 / Fig. 3);
+//! * layers: [`Linear`], [`Conv2d`] (lowered with im2col),
+//!   [`BatchNorm2d`], [`LayerNorm`], activations, pooling,
+//!   [`Embedding`] and causal self-attention;
+//! * optimizers ([`Sgd`], [`Adam`]) with optional custom-precision
+//!   weight updates;
+//! * [`AdaptiveLossScaler`] — dynamic loss scaling with the paper's
+//!   initial factor of 256 (Section V-A).
+//!
+//! ## Example
+//!
+//! ```
+//! use mpt_nn::{Graph, GemmPrecision, Linear, Layer};
+//! use mpt_tensor::Tensor;
+//!
+//! let layer = Linear::new(4, 2, GemmPrecision::fp32(), 0);
+//! let mut g = Graph::new(true);
+//! let x = g.input(Tensor::ones(vec![3, 4]));
+//! let y = layer.forward(&mut g, x);
+//! assert_eq!(g.value(y).shape(), &[3, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod init;
+pub mod layers;
+pub mod loss_scale;
+pub mod ops_basic;
+pub mod ops_conv;
+pub mod ops_gemm;
+pub mod ops_loss;
+pub mod ops_norm;
+pub mod ops_seq;
+pub mod optim;
+pub mod param;
+pub mod precision;
+pub mod tape;
+
+pub use attention::{CausalSelfAttention, TransformerBlock};
+pub use layers::{
+    AvgPoolGlobal, BatchNorm2d, Conv2d, Embedding, Flatten, Gelu, Layer, LayerNorm, Linear,
+    MaxPool2d, Relu, Sequential,
+};
+pub use loss_scale::AdaptiveLossScaler;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::Parameter;
+pub use precision::GemmPrecision;
+pub use tape::{Graph, NodeId};

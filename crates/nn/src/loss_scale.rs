@@ -1,0 +1,181 @@
+//! Adaptive (dynamic) loss scaling.
+//!
+//! All of the paper's experiments "employed adaptive loss scaling [7]
+//! with an initial scaling factor of 256" (Section V-A). The scaler
+//! multiplies the loss gradient by the current scale, watches the
+//! resulting parameter gradients for overflow/NaN, and adapts: any
+//! non-finite gradient skips the step and halves the scale; a run of
+//! `growth_interval` good steps doubles it.
+
+use crate::param::Parameter;
+
+/// Dynamic loss scaler in the style of mixed-precision training
+/// (Micikevicius et al.).
+///
+/// # Example
+///
+/// ```
+/// use mpt_nn::AdaptiveLossScaler;
+///
+/// let mut scaler = AdaptiveLossScaler::new();
+/// assert_eq!(scaler.scale(), 256.0); // the paper's initial factor
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveLossScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    good_steps: u32,
+    overflows: u64,
+}
+
+impl AdaptiveLossScaler {
+    /// Creates a scaler with the paper's initial scale of 256,
+    /// growth ×2 every 200 good steps, and backoff ×0.5 on overflow.
+    pub fn new() -> Self {
+        AdaptiveLossScaler::with_scale(256.0)
+    }
+
+    /// Creates a scaler with a custom initial scale.
+    pub fn with_scale(scale: f32) -> Self {
+        AdaptiveLossScaler {
+            scale,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 200,
+            good_steps: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Current scale; pass this as the `seed` of
+    /// [`crate::Graph::backward`].
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Number of overflow events observed so far.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Inspects the parameters' gradients after a backward pass.
+    ///
+    /// Returns `true` if the gradients are finite — in which case they
+    /// have been **unscaled in place** (divided by the current scale)
+    /// and the optimizer step should proceed. Returns `false` on
+    /// overflow: gradients are zeroed, the step must be skipped, and
+    /// the scale has been reduced.
+    pub fn unscale_or_skip(&mut self, params: &[Parameter]) -> bool {
+        let finite = params.iter().all(|p| p.grad().all_finite());
+        if finite {
+            let inv = 1.0 / self.scale;
+            for p in params {
+                let mut g = p.grad_mut();
+                for v in g.data_mut() {
+                    *v *= inv;
+                }
+            }
+            self.good_steps += 1;
+            if self.good_steps >= self.growth_interval {
+                self.scale *= self.growth_factor;
+                self.good_steps = 0;
+            }
+            true
+        } else {
+            for p in params {
+                p.zero_grad();
+            }
+            self.scale = (self.scale * self.backoff_factor).max(1.0);
+            self.good_steps = 0;
+            self.overflows += 1;
+            false
+        }
+    }
+}
+
+impl Default for AdaptiveLossScaler {
+    fn default() -> Self {
+        AdaptiveLossScaler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_tensor::Tensor;
+
+    fn param(grad: Vec<f32>) -> Parameter {
+        let n = grad.len();
+        let p = Parameter::new("p", Tensor::zeros(vec![n]));
+        p.accumulate_grad(&Tensor::from_vec(vec![n], grad).unwrap());
+        p
+    }
+
+    #[test]
+    fn initial_scale_is_256() {
+        assert_eq!(AdaptiveLossScaler::new().scale(), 256.0);
+    }
+
+    #[test]
+    fn finite_gradients_are_unscaled() {
+        let p = param(vec![256.0, -512.0]);
+        let mut s = AdaptiveLossScaler::new();
+        assert!(s.unscale_or_skip(&[p.clone()]));
+        assert_eq!(p.grad().data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn overflow_halves_scale_and_zeroes() {
+        let p = param(vec![f32::INFINITY, 1.0]);
+        let mut s = AdaptiveLossScaler::new();
+        assert!(!s.unscale_or_skip(&[p.clone()]));
+        assert_eq!(s.scale(), 128.0);
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+        assert_eq!(s.overflow_count(), 1);
+    }
+
+    #[test]
+    fn nan_detected_as_overflow() {
+        let p = param(vec![f32::NAN]);
+        let mut s = AdaptiveLossScaler::new();
+        assert!(!s.unscale_or_skip(&[p]));
+    }
+
+    #[test]
+    fn scale_grows_after_interval() {
+        let mut s = AdaptiveLossScaler::with_scale(64.0);
+        for _ in 0..200 {
+            let p = param(vec![1.0]);
+            assert!(s.unscale_or_skip(&[p]));
+        }
+        assert_eq!(s.scale(), 128.0);
+    }
+
+    #[test]
+    fn scale_floor_is_one() {
+        let mut s = AdaptiveLossScaler::with_scale(1.0);
+        let p = param(vec![f32::NAN]);
+        s.unscale_or_skip(&[p]);
+        assert_eq!(s.scale(), 1.0);
+    }
+
+    #[test]
+    fn overflow_resets_growth_run() {
+        let mut s = AdaptiveLossScaler::with_scale(64.0);
+        for _ in 0..199 {
+            let p = param(vec![1.0]);
+            s.unscale_or_skip(&[p]);
+        }
+        let bad = param(vec![f32::INFINITY]);
+        s.unscale_or_skip(&[bad]);
+        assert_eq!(s.scale(), 32.0);
+        // 199 more good steps must not grow (the run restarted).
+        for _ in 0..199 {
+            let p = param(vec![1.0]);
+            s.unscale_or_skip(&[p]);
+        }
+        assert_eq!(s.scale(), 32.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Loss and softmax ops.
+
+use crate::tape::{Graph, NodeId};
+use mpt_tensor::Tensor;
+
+impl Graph {
+    /// Numerically-stable row-wise softmax of a 2-D node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a matrix.
+    pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        let value = softmax_rows_fwd(self.value(x));
+        self.push(
+            value,
+            vec![x],
+            Some(Box::new(|args| {
+                // dx = s ⊙ (g - rowsum(g ⊙ s))
+                let s = args.output;
+                let (r, c) = s.as_matrix().expect("matrix");
+                let mut dx = vec![0.0f32; r * c];
+                for i in 0..r {
+                    let srow = &s.data()[i * c..(i + 1) * c];
+                    let grow = &args.grad.data()[i * c..(i + 1) * c];
+                    let dot: f32 = srow.iter().zip(grow).map(|(&a, &b)| a * b).sum();
+                    for j in 0..c {
+                        dx[i * c + j] = srow[j] * (grow[j] - dot);
+                    }
+                }
+                vec![Some(Tensor::from_vec(vec![r, c], dx).expect("shape"))]
+            })),
+            None,
+        )
+    }
+
+    /// Mean softmax cross-entropy between `logits` (`[batch, classes]`)
+    /// and integer `targets`, as a scalar loss node.
+    ///
+    /// The backward pass is the fused, numerically exact
+    /// `(softmax - onehot) / batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not a matrix, `targets.len()` differs
+    /// from the batch size, or any target is out of range.
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: &[usize]) -> NodeId {
+        let (r, c) = self.value(logits).as_matrix().expect("logits are a matrix");
+        assert_eq!(targets.len(), r, "one target per row");
+        assert!(targets.iter().all(|&t| t < c), "target class out of range");
+
+        let probs = softmax_rows_fwd(self.value(logits));
+        let mut loss = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            let p = probs.data()[i * c + t].max(1e-30);
+            loss -= (p as f64).ln();
+        }
+        loss /= r as f64;
+
+        let targets = targets.to_vec();
+        self.push(
+            Tensor::scalar(loss as f32),
+            vec![logits],
+            Some(Box::new(move |args| {
+                let g = args.grad.item();
+                let mut dx = probs.clone();
+                let d = dx.data_mut();
+                for (i, &t) in targets.iter().enumerate() {
+                    d[i * c + t] -= 1.0;
+                }
+                for v in d.iter_mut() {
+                    *v *= g / r as f32;
+                }
+                vec![Some(dx)]
+            })),
+            None,
+        )
+    }
+}
+
+/// Row-wise softmax with max subtraction, shared by the ops above.
+pub(crate) fn softmax_rows_fwd(x: &Tensor) -> Tensor {
+    let (r, c) = x.as_matrix().expect("softmax input is a matrix");
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        let row = &x.data()[i * c..(i + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f64;
+        for j in 0..c {
+            let e = ((row[j] - max) as f64).exp();
+            out[i * c + j] = e as f32;
+            sum += e;
+        }
+        for j in 0..c {
+            out[i * c + j] = (out[i * c + j] as f64 / sum) as f32;
+        }
+    }
+    Tensor::from_vec(vec![r, c], out).expect("shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_fn(vec![3, 5], |i| (i as f32) * 0.7 - 5.0);
+        let s = softmax_rows_fwd(&x);
+        for i in 0..3 {
+            let sum: f32 = s.data()[i * 5..(i + 1) * 5].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let y = x.map(|v| v + 100.0);
+        let sx = softmax_rows_fwd(&x);
+        let sy = softmax_rows_fwd(&y);
+        for (a, b) in sx.data().iter().zip(sy.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let x = Tensor::from_vec(vec![1, 2], vec![1000.0, -1000.0]).unwrap();
+        let s = softmax_rows_fwd(&x);
+        assert!((s.data()[0] - 1.0).abs() < 1e-6);
+        assert!(s.data()[1] < 1e-6);
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let mut g = Graph::new(true);
+        let logits = g.input(Tensor::from_vec(vec![1, 3], vec![20.0, 0.0, 0.0]).unwrap());
+        let loss = g.cross_entropy(logits, &[0]);
+        assert!(g.value(loss).item() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let mut g = Graph::new(true);
+        let logits = g.input(Tensor::zeros(vec![4, 10]));
+        let loss = g.cross_entropy(logits, &[0, 3, 5, 9]);
+        assert!((g.value(loss).item() - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let mut g = Graph::new(true);
+        let x0 = Tensor::from_vec(vec![2, 3], vec![0.1, 0.7, -0.2, 1.0, -1.0, 0.0]).unwrap();
+        let logits = g.input(x0.clone());
+        let loss = g.cross_entropy(logits, &[1, 0]);
+        g.backward(loss, 1.0);
+        let grad = g.grad(logits).unwrap();
+        let probs = softmax_rows_fwd(&x0);
+        for i in 0..2 {
+            for j in 0..3 {
+                let expect = (probs.at(&[i, j]) - if [1, 0][i] == j { 1.0 } else { 0.0 }) / 2.0;
+                assert!((grad.at(&[i, j]) - expect).abs() < 1e-6);
+            }
+        }
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_matches_finite_difference() {
+        let x0 = Tensor::from_vec(vec![2, 3], vec![0.3, -0.1, 0.5, 0.9, 0.2, -0.7]).unwrap();
+        let targets = [2usize, 1];
+        let f = |x: &Tensor| {
+            let probs = softmax_rows_fwd(x);
+            let mut l = 0.0f64;
+            for (i, &t) in targets.iter().enumerate() {
+                l -= (probs.at(&[i, t]) as f64).ln();
+            }
+            (l / 2.0) as f32
+        };
+        let mut g = Graph::new(true);
+        let logits = g.input(x0.clone());
+        let loss = g.cross_entropy(logits, &targets);
+        g.backward(loss, 1.0);
+        let grad = g.grad(logits).unwrap().clone();
+        let h = 1e-2;
+        for idx in 0..6 {
+            let mut plus = x0.clone();
+            plus.data_mut()[idx] += h;
+            let mut minus = x0.clone();
+            minus.data_mut()[idx] -= h;
+            let numeric = (f(&plus) - f(&minus)) / (2.0 * h);
+            assert!((grad.data()[idx] - numeric).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn softmax_node_backward_matches_identity_case() {
+        // grad of sum(softmax) is zero (softmax rows sum to 1).
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::from_vec(vec![1, 3], vec![0.2, -0.5, 1.0]).unwrap());
+        let s = g.softmax_rows(x);
+        let loss = g.mean_all(s);
+        g.backward(loss, 3.0);
+        for &v in g.grad(x).unwrap().data() {
+            assert!(v.abs() < 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target class out of range")]
+    fn cross_entropy_validates_targets() {
+        let mut g = Graph::new(true);
+        let logits = g.input(Tensor::zeros(vec![1, 3]));
+        g.cross_entropy(logits, &[7]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Normalization ops: batch normalization (NCHW) and layer
+//! normalization (last dimension of a matrix).
+//!
+//! Normalization statistics are computed in full precision, as in the
+//! paper's framework (the custom arithmetic applies to GEMMs; other
+//! ops stay FP32).
+
+use crate::tape::{Graph, NodeId};
+use mpt_tensor::Tensor;
+
+const BN_EPS: f64 = 1e-5;
+
+impl Graph {
+    /// Batch normalization over an NCHW node with affine parameters.
+    ///
+    /// In training graphs, batch statistics are used and
+    /// `(batch_mean, batch_var)` is returned alongside the output so
+    /// the layer can update its running estimates; in evaluation
+    /// graphs the provided `running` statistics are used.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-NCHW input or mismatched parameter lengths.
+    pub fn batchnorm2d(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        running: (&Tensor, &Tensor),
+    ) -> (NodeId, Option<(Tensor, Tensor)>) {
+        let input = self.value(x);
+        assert_eq!(input.rank(), 4, "batchnorm2d input must be NCHW");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(self.value(gamma).numel(), c, "gamma length");
+        assert_eq!(self.value(beta).numel(), c, "beta length");
+        let count = (n * h * w) as f64;
+
+        // Channel statistics.
+        let (mean, var) = if self.is_training() {
+            let mut mean = vec![0.0f64; c];
+            let mut var = vec![0.0f64; c];
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    for &v in &input.data()[base..base + h * w] {
+                        mean[ch] += v as f64;
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    for &v in &input.data()[base..base + h * w] {
+                        let d = v as f64 - mean[ch];
+                        var[ch] += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            (mean, var)
+        } else {
+            (
+                running.0.data().iter().map(|&v| v as f64).collect(),
+                running.1.data().iter().map(|&v| v as f64).collect(),
+            )
+        };
+
+        let inv_std: Vec<f64> = var.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()).collect();
+        let gamma_v = self.value(gamma).data().to_vec();
+        let beta_v = self.value(beta).data().to_vec();
+
+        let mut out = vec![0.0f32; input.numel()];
+        let mut xhat = vec![0.0f32; input.numel()];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for off in 0..h * w {
+                    let xh = ((input.data()[base + off] as f64 - mean[ch]) * inv_std[ch]) as f32;
+                    xhat[base + off] = xh;
+                    out[base + off] = gamma_v[ch] * xh + beta_v[ch];
+                }
+            }
+        }
+        let value = Tensor::from_vec(vec![n, c, h, w], out).expect("shape");
+
+        let stats = if self.is_training() {
+            Some((
+                Tensor::from_vec(vec![c], mean.iter().map(|&v| v as f32).collect())
+                    .expect("shape"),
+                Tensor::from_vec(vec![c], var.iter().map(|&v| v as f32).collect())
+                    .expect("shape"),
+            ))
+        } else {
+            None
+        };
+
+        let training = self.is_training();
+        let node = self.push(
+            value,
+            vec![x, gamma, beta],
+            Some(Box::new(move |args| {
+                let g = args.grad;
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * h * w;
+                        for off in 0..h * w {
+                            dgamma[ch] += g.data()[base + off] * xhat[base + off];
+                            dbeta[ch] += g.data()[base + off];
+                        }
+                    }
+                }
+
+                let mut dx = vec![0.0f32; n * c * h * w];
+                if training {
+                    // Full batch-norm backward:
+                    // dx = (gamma*inv_std/count)*(count*g - dbeta - xhat*dgamma)
+                    for img in 0..n {
+                        for ch in 0..c {
+                            let base = (img * c + ch) * h * w;
+                            let k = gamma_v[ch] as f64 * inv_std[ch] / count;
+                            for off in 0..h * w {
+                                dx[base + off] = (k
+                                    * (count * g.data()[base + off] as f64
+                                        - dbeta[ch] as f64
+                                        - xhat[base + off] as f64 * dgamma[ch] as f64))
+                                    as f32;
+                            }
+                        }
+                    }
+                } else {
+                    // Inference statistics are constants.
+                    for img in 0..n {
+                        for ch in 0..c {
+                            let base = (img * c + ch) * h * w;
+                            let k = (gamma_v[ch] as f64 * inv_std[ch]) as f32;
+                            for off in 0..h * w {
+                                dx[base + off] = k * g.data()[base + off];
+                            }
+                        }
+                    }
+                }
+                vec![
+                    Some(Tensor::from_vec(vec![n, c, h, w], dx).expect("shape")),
+                    Some(Tensor::from_vec(vec![c], dgamma).expect("shape")),
+                    Some(Tensor::from_vec(vec![c], dbeta).expect("shape")),
+                ]
+            })),
+            None,
+        );
+        (node, stats)
+    }
+
+    /// Layer normalization over the last dimension of a 2-D node,
+    /// with affine parameters of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-matrix input or mismatched parameter lengths.
+    pub fn layernorm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        let input = self.value(x);
+        let (r, c) = input.as_matrix().expect("layernorm input is a matrix");
+        assert_eq!(self.value(gamma).numel(), c, "gamma length");
+        assert_eq!(self.value(beta).numel(), c, "beta length");
+        let gamma_v = self.value(gamma).data().to_vec();
+        let beta_v = self.value(beta).data().to_vec();
+
+        let mut out = vec![0.0f32; r * c];
+        let mut xhat = vec![0.0f32; r * c];
+        let mut inv_std = vec![0.0f64; r];
+        for i in 0..r {
+            let row = &input.data()[i * c..(i + 1) * c];
+            let mean: f64 = row.iter().map(|&v| v as f64).sum::<f64>() / c as f64;
+            let var: f64 =
+                row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / c as f64;
+            inv_std[i] = 1.0 / (var + BN_EPS).sqrt();
+            for j in 0..c {
+                let xh = ((row[j] as f64 - mean) * inv_std[i]) as f32;
+                xhat[i * c + j] = xh;
+                out[i * c + j] = gamma_v[j] * xh + beta_v[j];
+            }
+        }
+        let value = Tensor::from_vec(vec![r, c], out).expect("shape");
+
+        self.push(
+            value,
+            vec![x, gamma, beta],
+            Some(Box::new(move |args| {
+                let g = args.grad;
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                let mut dx = vec![0.0f32; r * c];
+                for i in 0..r {
+                    let mut sum_g = 0.0f64;
+                    let mut sum_gx = 0.0f64;
+                    for j in 0..c {
+                        let gh = (g.data()[i * c + j] * gamma_v[j]) as f64;
+                        sum_g += gh;
+                        sum_gx += gh * xhat[i * c + j] as f64;
+                        dgamma[j] += g.data()[i * c + j] * xhat[i * c + j];
+                        dbeta[j] += g.data()[i * c + j];
+                    }
+                    for j in 0..c {
+                        let gh = (g.data()[i * c + j] * gamma_v[j]) as f64;
+                        dx[i * c + j] = (inv_std[i]
+                            * (gh - sum_g / c as f64
+                                - xhat[i * c + j] as f64 * sum_gx / c as f64))
+                            as f32;
+                    }
+                }
+                vec![
+                    Some(Tensor::from_vec(vec![r, c], dx).expect("shape")),
+                    Some(Tensor::from_vec(vec![c], dgamma).expect("shape")),
+                    Some(Tensor::from_vec(vec![c], dbeta).expect("shape")),
+                ]
+            })),
+            None,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batchnorm_normalizes_channels() {
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::from_fn(vec![2, 2, 2, 2], |i| i as f32));
+        let gamma = g.input(Tensor::ones(vec![2]));
+        let beta = g.input(Tensor::zeros(vec![2]));
+        let zeros = Tensor::zeros(vec![2]);
+        let ones = Tensor::ones(vec![2]);
+        let (y, stats) = g.batchnorm2d(x, gamma, beta, (&zeros, &ones));
+        let (mean, var) = stats.expect("training stats");
+        // Output per channel has ~zero mean and ~unit variance.
+        let out = g.value(y);
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for img in 0..2 {
+                for off in 0..4 {
+                    vals.push(out.data()[(img * 2 + ch) * 4 + off] as f64);
+                }
+            }
+            let m: f64 = vals.iter().sum::<f64>() / 8.0;
+            let v: f64 = vals.iter().map(|x| (x - m).powi(2)).sum::<f64>() / 8.0;
+            assert!(m.abs() < 1e-5, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-3, "var {v}");
+        }
+        assert_eq!(mean.numel(), 2);
+        assert_eq!(var.numel(), 2);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut g = Graph::new(false);
+        let x = g.input(Tensor::full(vec![1, 1, 1, 1], 10.0));
+        let gamma = g.input(Tensor::ones(vec![1]));
+        let beta = g.input(Tensor::zeros(vec![1]));
+        let mean = Tensor::from_vec(vec![1], vec![8.0]).unwrap();
+        let var = Tensor::from_vec(vec![1], vec![4.0]).unwrap();
+        let (y, stats) = g.batchnorm2d(x, gamma, beta, (&mean, &var));
+        assert!(stats.is_none());
+        assert!((g.value(y).item() - 1.0).abs() < 1e-3); // (10-8)/2
+    }
+
+    #[test]
+    fn batchnorm_gradient_sums_to_zero_per_channel() {
+        // The batch-norm input gradient is mean-free per channel.
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::from_fn(vec![2, 2, 2, 2], |i| ((i * 11) % 7) as f32));
+        let gamma = g.input(Tensor::ones(vec![2]));
+        let beta = g.input(Tensor::zeros(vec![2]));
+        let zeros = Tensor::zeros(vec![2]);
+        let ones = Tensor::ones(vec![2]);
+        let (y, _) = g.batchnorm2d(x, gamma, beta, (&zeros, &ones));
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss, 1.0);
+        let dx = g.grad(x).unwrap();
+        for ch in 0..2 {
+            let mut s = 0.0f64;
+            for img in 0..2 {
+                for off in 0..4 {
+                    s += dx.data()[(img * 2 + ch) * 4 + off] as f64;
+                }
+            }
+            assert!(s.abs() < 1e-4, "channel {ch} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient_matches_finite_difference() {
+        let x0 = Tensor::from_fn(vec![2, 1, 2, 2], |i| ((i * 13 % 9) as f32) * 0.5 - 1.0);
+        let run = |xv: &Tensor| -> f32 {
+            let mut g = Graph::new(true);
+            let x = g.input(xv.clone());
+            let gamma = g.input(Tensor::from_vec(vec![1], vec![1.5]).unwrap());
+            let beta = g.input(Tensor::from_vec(vec![1], vec![0.3]).unwrap());
+            let zeros = Tensor::zeros(vec![1]);
+            let ones = Tensor::ones(vec![1]);
+            let (y, _) = g.batchnorm2d(x, gamma, beta, (&zeros, &ones));
+            let sq = g.mul(y, y);
+            let loss = g.mean_all(sq);
+            g.value(loss).item()
+        };
+        let mut g = Graph::new(true);
+        let x = g.input(x0.clone());
+        let gamma = g.input(Tensor::from_vec(vec![1], vec![1.5]).unwrap());
+        let beta = g.input(Tensor::from_vec(vec![1], vec![0.3]).unwrap());
+        let zeros = Tensor::zeros(vec![1]);
+        let ones = Tensor::ones(vec![1]);
+        let (y, _) = g.batchnorm2d(x, gamma, beta, (&zeros, &ones));
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss, 1.0);
+        let h = 1e-2;
+        for idx in 0..8 {
+            let mut plus = x0.clone();
+            plus.data_mut()[idx] += h;
+            let mut minus = x0.clone();
+            minus.data_mut()[idx] -= h;
+            let numeric = (run(&plus) - run(&minus)) / (2.0 * h);
+            let analytic = g.grad(x).unwrap().data()[idx];
+            assert!((analytic - numeric).abs() < 1e-2, "dx[{idx}]: {analytic} vs {numeric}");
+        }
+    }
+
+    #[test]
+    fn layernorm_rows_normalized() {
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::from_fn(vec![3, 8], |i| ((i * 17) % 13) as f32));
+        let gamma = g.input(Tensor::ones(vec![8]));
+        let beta = g.input(Tensor::zeros(vec![8]));
+        let y = g.layernorm(x, gamma, beta);
+        for i in 0..3 {
+            let row = &g.value(y).data()[i * 8..(i + 1) * 8];
+            let m: f64 = row.iter().map(|&v| v as f64).sum::<f64>() / 8.0;
+            let v: f64 = row.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / 8.0;
+            assert!(m.abs() < 1e-5);
+            assert!((v - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_matches_finite_difference() {
+        let x0 = Tensor::from_fn(vec![2, 4], |i| ((i * 7 % 11) as f32) * 0.3 - 1.0);
+        let run = |xv: &Tensor| -> f32 {
+            let mut g = Graph::new(true);
+            let x = g.input(xv.clone());
+            let gamma = g.input(Tensor::from_fn(vec![4], |i| 1.0 + i as f32 * 0.1));
+            let beta = g.input(Tensor::from_fn(vec![4], |i| i as f32 * 0.05));
+            let y = g.layernorm(x, gamma, beta);
+            let sq = g.mul(y, y);
+            let loss = g.mean_all(sq);
+            g.value(loss).item()
+        };
+        let mut g = Graph::new(true);
+        let x = g.input(x0.clone());
+        let gamma = g.input(Tensor::from_fn(vec![4], |i| 1.0 + i as f32 * 0.1));
+        let beta = g.input(Tensor::from_fn(vec![4], |i| i as f32 * 0.05));
+        let y = g.layernorm(x, gamma, beta);
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss, 1.0);
+        let h = 1e-2;
+        for idx in 0..8 {
+            let mut plus = x0.clone();
+            plus.data_mut()[idx] += h;
+            let mut minus = x0.clone();
+            minus.data_mut()[idx] -= h;
+            let numeric = (run(&plus) - run(&minus)) / (2.0 * h);
+            let analytic = g.grad(x).unwrap().data()[idx];
+            assert!((analytic - numeric).abs() < 1e-2, "dx[{idx}]: {analytic} vs {numeric}");
+        }
+    }
+
+    #[test]
+    fn layernorm_affine_gradients() {
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::from_fn(vec![2, 3], |i| i as f32));
+        let gamma = g.input(Tensor::ones(vec![3]));
+        let beta = g.input(Tensor::zeros(vec![3]));
+        let y = g.layernorm(x, gamma, beta);
+        let loss = g.mean_all(y);
+        g.backward(loss, 6.0);
+        // dbeta = sum of upstream grads per column = 2 (two rows x 1.0).
+        assert_eq!(g.grad(beta).unwrap().data(), &[2.0, 2.0, 2.0]);
+        // dgamma = sum of xhat per column; columns are symmetric rows
+        // so dgamma[1] (center) is ~0.
+        assert!(g.grad(gamma).unwrap().data()[1].abs() < 1e-4);
+    }
+}

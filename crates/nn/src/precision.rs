@@ -1,0 +1,112 @@
+//! Per-layer arithmetic configuration.
+//!
+//! The paper's layer declaration (Fig. 3) attaches an arithmetic
+//! configuration to each layer: the GEMM formats/roundings for the
+//! forward pass and, independently, for the backward pass.
+//! [`GemmPrecision`] is that pair.
+
+use mpt_arith::{MacConfig, QGemmConfig};
+use std::fmt;
+
+/// Forward/backward GEMM arithmetic for one layer.
+///
+/// # Example
+///
+/// ```
+/// use mpt_nn::GemmPrecision;
+///
+/// let p = GemmPrecision::fp8_fp12_sr();
+/// assert!(p.fwd.mac.is_fused());
+/// assert_eq!(p.fwd, p.bwd);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmPrecision {
+    /// Arithmetic used by forward-pass GEMMs.
+    pub fwd: QGemmConfig,
+    /// Arithmetic used by backward-pass GEMMs (input- and
+    /// weight-gradient products).
+    pub bwd: QGemmConfig,
+}
+
+impl GemmPrecision {
+    /// Uses the same configuration for both passes.
+    pub fn uniform(cfg: QGemmConfig) -> Self {
+        GemmPrecision { fwd: cfg, bwd: cfg }
+    }
+
+    /// Distinct forward and backward configurations (several FP8
+    /// training schemes use different formats per pass — paper
+    /// Section II-A).
+    pub fn split(fwd: QGemmConfig, bwd: QGemmConfig) -> Self {
+        GemmPrecision { fwd, bwd }
+    }
+
+    /// Full-precision FP32 in both passes.
+    pub fn fp32() -> Self {
+        GemmPrecision::uniform(QGemmConfig::fp32())
+    }
+
+    /// The paper's headline FP8×FP12-SR configuration in both passes.
+    pub fn fp8_fp12_sr() -> Self {
+        GemmPrecision::uniform(QGemmConfig::fp8_fp12_sr())
+    }
+
+    /// Builds a uniform precision from a MAC configuration with
+    /// operand quantization matching the multiplier format.
+    pub fn for_mac(mac: MacConfig) -> Self {
+        GemmPrecision::uniform(QGemmConfig::for_mac(mac))
+    }
+
+    /// Reseeds all stochastic streams; forward and backward get
+    /// distinct sub-seeds.
+    pub fn with_seed(self, seed: u64) -> Self {
+        GemmPrecision {
+            fwd: self.fwd.with_seed(seed.wrapping_mul(2)),
+            bwd: self.bwd.with_seed(seed.wrapping_mul(2).wrapping_add(1)),
+        }
+    }
+}
+
+impl fmt::Display for GemmPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fwd == self.bwd {
+            write!(f, "fwd=bwd[{}]", self.fwd)
+        } else {
+            write!(f, "fwd[{}] bwd[{}]", self.fwd, self.bwd)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_formats::Rounding;
+
+    #[test]
+    fn uniform_and_split() {
+        let u = GemmPrecision::fp32();
+        assert_eq!(u.fwd, u.bwd);
+        let s = GemmPrecision::split(
+            QGemmConfig::fp8_fp12_sr(),
+            QGemmConfig::fp32(),
+        );
+        assert_ne!(s.fwd, s.bwd);
+    }
+
+    #[test]
+    fn seeding_decouples_passes() {
+        let p = GemmPrecision::fp8_fp12_sr().with_seed(10);
+        assert_ne!(p.fwd, p.bwd, "fwd and bwd must draw different SR bits");
+    }
+
+    #[test]
+    fn for_mac_sets_operand_format() {
+        let p = GemmPrecision::for_mac(MacConfig::fp8_fp12(Rounding::Nearest));
+        assert_eq!(p.fwd.quant_a.format().bit_width(), 8);
+    }
+
+    #[test]
+    fn display_compact_when_uniform() {
+        assert!(GemmPrecision::fp32().to_string().starts_with("fwd=bwd["));
+    }
+}

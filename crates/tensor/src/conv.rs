@@ -1,0 +1,348 @@
+//! `im2col`/`col2im` lowering of convolutions to GEMM.
+//!
+//! The paper routes every convolution through GEMM: "Convolution
+//! operations are transformed into GEMM computations using the im2col
+//! and col2im transformations, performed on the CPU host"
+//! (Section III, footnote 1). These are those host-side transforms.
+//!
+//! Layout conventions (NCHW):
+//!
+//! * input image tensor: `[batch, channels, height, width]`
+//! * `im2col` output: `[channels·kh·kw, batch·oh·ow]` — one column per
+//!   output pixel, so `weights(oc, c·kh·kw) × cols` is the forward
+//!   convolution GEMM.
+
+use crate::error::ShapeError;
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution: kernel, stride, padding and the
+/// derived output size.
+///
+/// # Example
+///
+/// ```
+/// use mpt_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(28, 28, 5, 5, 1, 2)?;
+/// assert_eq!((g.out_h, g.out_w), (28, 28)); // "same" conv
+/// # Ok::<(), mpt_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes the output size for the given convolution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Geometry`] if the stride is zero or the
+    /// kernel does not fit in the padded input.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ShapeError> {
+        if stride == 0 {
+            return Err(ShapeError::Geometry("stride must be non-zero".into()));
+        }
+        if kernel_h == 0 || kernel_w == 0 {
+            return Err(ShapeError::Geometry("kernel must be non-empty".into()));
+        }
+        let padded_h = in_h + 2 * padding;
+        let padded_w = in_w + 2 * padding;
+        if kernel_h > padded_h || kernel_w > padded_w {
+            return Err(ShapeError::Geometry(format!(
+                "kernel {kernel_h}x{kernel_w} larger than padded input {padded_h}x{padded_w}"
+            )));
+        }
+        Ok(Conv2dGeometry {
+            in_h,
+            in_w,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            out_h: (padded_h - kernel_h) / stride + 1,
+            out_w: (padded_w - kernel_w) / stride + 1,
+        })
+    }
+
+    /// Number of output pixels per image.
+    pub fn out_pixels(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Unfolds an NCHW batch into the GEMM operand matrix
+/// `[channels·kh·kw, batch·oh·ow]`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `input` is not rank 4 or its spatial size
+/// disagrees with `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, ShapeError> {
+    if input.rank() != 4 {
+        return Err(ShapeError::Rank { expected: 4, actual: input.rank(), op: "im2col" });
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if h != geom.in_h || w != geom.in_w {
+        return Err(ShapeError::Geometry(format!(
+            "input {h}x{w} does not match geometry {}x{}",
+            geom.in_h, geom.in_w
+        )));
+    }
+    let rows = c * geom.kernel_h * geom.kernel_w;
+    let cols = n * geom.out_pixels();
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    let pad = geom.padding as isize;
+    for img in 0..n {
+        for ch in 0..c {
+            for kh in 0..geom.kernel_h {
+                for kw in 0..geom.kernel_w {
+                    let row = (ch * geom.kernel_h + kh) * geom.kernel_w + kw;
+                    for oy in 0..geom.out_h {
+                        let iy = (oy * geom.stride) as isize + kh as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..geom.out_w {
+                            let ix = (ox * geom.stride) as isize + kw as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let col = img * geom.out_pixels() + oy * geom.out_w + ox;
+                            out[row * cols + col] = data
+                                [((img * c + ch) * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![rows, cols], out)
+}
+
+/// Folds a `[channels·kh·kw, batch·oh·ow]` matrix back into an NCHW
+/// batch by scatter-add — the adjoint of [`im2col`], used in the
+/// backward pass to accumulate input gradients.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `cols` is not rank 2 or its shape
+/// disagrees with `geom`/`batch`/`channels`.
+pub fn col2im(
+    cols: &Tensor,
+    batch: usize,
+    channels: usize,
+    geom: &Conv2dGeometry,
+) -> Result<Tensor, ShapeError> {
+    let (rows, ncols) = cols.as_matrix()?;
+    let expected_rows = channels * geom.kernel_h * geom.kernel_w;
+    let expected_cols = batch * geom.out_pixels();
+    if rows != expected_rows || ncols != expected_cols {
+        return Err(ShapeError::Mismatch {
+            left: vec![rows, ncols],
+            right: vec![expected_rows, expected_cols],
+            op: "col2im",
+        });
+    }
+    let (h, w) = (geom.in_h, geom.in_w);
+    let mut out = vec![0.0f32; batch * channels * h * w];
+    let data = cols.data();
+    let pad = geom.padding as isize;
+    for img in 0..batch {
+        for ch in 0..channels {
+            for kh in 0..geom.kernel_h {
+                for kw in 0..geom.kernel_w {
+                    let row = (ch * geom.kernel_h + kh) * geom.kernel_w + kw;
+                    for oy in 0..geom.out_h {
+                        let iy = (oy * geom.stride) as isize + kh as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..geom.out_w {
+                            let ix = (ox * geom.stride) as isize + kw as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let col = img * geom.out_pixels() + oy * geom.out_w + ox;
+                            out[((img * channels + ch) * h + iy as usize) * w + ix as usize] +=
+                                data[row * ncols + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![batch, channels, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_same_conv() {
+        let g = Conv2dGeometry::new(32, 32, 3, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (32, 32));
+        assert_eq!(g.out_pixels(), 1024);
+    }
+
+    #[test]
+    fn geometry_strided() {
+        let g = Conv2dGeometry::new(32, 32, 3, 3, 2, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (16, 16));
+    }
+
+    #[test]
+    fn geometry_invalid() {
+        assert!(Conv2dGeometry::new(4, 4, 3, 3, 0, 0).is_err());
+        assert!(Conv2dGeometry::new(2, 2, 5, 5, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(4, 4, 0, 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_1x1_kernel_is_reshape() {
+        // With a 1x1 kernel, stride 1, no padding, the cols matrix is
+        // just a [C, N*H*W] rearrangement.
+        let input = Tensor::from_fn(vec![1, 2, 2, 2], |i| i as f32);
+        let g = Conv2dGeometry::new(2, 2, 1, 1, 1, 0).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.shape(), &[2, 4]);
+        assert_eq!(cols.data(), &[0., 1., 2., 3., 4., 5., 6., 7.]);
+    }
+
+    #[test]
+    fn im2col_known_3x3() {
+        // Single 3x3 image, 2x2 kernel, stride 1, no padding:
+        // 4 output pixels, 4 rows.
+        let input = Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        )
+        .unwrap();
+        let g = Conv2dGeometry::new(3, 3, 2, 2, 1, 0).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // Row 0 is the top-left kernel tap across output pixels.
+        assert_eq!(&cols.data()[0..4], &[1., 2., 4., 5.]);
+        // Row 3 is the bottom-right tap.
+        assert_eq!(&cols.data()[12..16], &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let input = Tensor::ones(vec![1, 1, 2, 2]);
+        let g = Conv2dGeometry::new(2, 2, 3, 3, 1, 1).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.shape(), &[9, 4]);
+        // Center tap row sees all four ones.
+        assert_eq!(&cols.data()[4 * 4..5 * 4], &[1., 1., 1., 1.]);
+        // Top-left tap only overlaps the image at output (1,1).
+        assert_eq!(&cols.data()[0..4], &[0., 0., 0., 1.]);
+    }
+
+    #[test]
+    fn conv_via_gemm_matches_direct() {
+        // Direct convolution vs weights × im2col.
+        let input = Tensor::from_fn(vec![2, 3, 5, 5], |i| ((i * 7) % 11) as f32 - 5.0);
+        let g = Conv2dGeometry::new(5, 5, 3, 3, 1, 1).unwrap();
+        let oc = 4;
+        let weights = Tensor::from_fn(vec![oc, 3 * 3 * 3], |i| ((i * 3) % 5) as f32 - 2.0);
+        let cols = im2col(&input, &g).unwrap();
+        let out = weights.matmul(&cols).unwrap(); // [oc, N*OH*OW]
+
+        // Direct computation.
+        for img in 0..2 {
+            for o in 0..oc {
+                for oy in 0..g.out_h {
+                    for ox in 0..g.out_w {
+                        let mut acc = 0.0f32;
+                        for ch in 0..3 {
+                            for kh in 0..3 {
+                                for kw in 0..3 {
+                                    let iy = oy as isize + kh as isize - 1;
+                                    let ix = ox as isize + kw as isize - 1;
+                                    if iy < 0 || iy >= 5 || ix < 0 || ix >= 5 {
+                                        continue;
+                                    }
+                                    let wv = weights.at(&[o, (ch * 3 + kh) * 3 + kw]);
+                                    let iv =
+                                        input.at(&[img, ch, iy as usize, ix as usize]);
+                                    acc += wv * iv;
+                                }
+                            }
+                        }
+                        let col = img * g.out_pixels() + oy * g.out_w + ox;
+                        let got = out.at(&[o, col]);
+                        assert!((got - acc).abs() < 1e-3, "({img},{o},{oy},{ox}): {got} vs {acc}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint
+        // property that makes the conv backward pass correct.
+        let x = Tensor::from_fn(vec![2, 2, 4, 4], |i| ((i * 13) % 7) as f32 - 3.0);
+        let g = Conv2dGeometry::new(4, 4, 3, 3, 1, 1).unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        let y = Tensor::from_fn(cols.shape().to_vec(), |i| ((i * 5) % 9) as f32 - 4.0);
+        let folded = col2im(&y, 2, 2, &g).unwrap();
+
+        let lhs: f64 = cols
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(folded.data())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_shape_validated() {
+        let g = Conv2dGeometry::new(4, 4, 3, 3, 1, 1).unwrap();
+        let bad = Tensor::zeros(vec![5, 5]);
+        assert!(col2im(&bad, 1, 1, &g).is_err());
+    }
+
+    #[test]
+    fn im2col_requires_rank_4() {
+        let g = Conv2dGeometry::new(4, 4, 3, 3, 1, 1).unwrap();
+        assert!(im2col(&Tensor::zeros(vec![4, 4]), &g).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Shape mismatch error.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are incompatible with the
+/// requested operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Element count does not match the product of the shape's dims.
+    DataLength {
+        /// Shape the caller requested.
+        shape: Vec<usize>,
+        /// Number of elements actually provided.
+        len: usize,
+    },
+    /// Two shapes that must match do not.
+    Mismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A tensor with a required rank had a different one.
+    Rank {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank the tensor actually has.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// Convolution geometry is impossible (kernel larger than padded
+    /// input, zero stride, ...).
+    Geometry(String),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::DataLength { shape, len } => {
+                write!(f, "data length {len} does not match shape {shape:?}")
+            }
+            ShapeError::Mismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            ShapeError::Rank { expected, actual, op } => {
+                write!(f, "{op} requires rank {expected}, got rank {actual}")
+            }
+            ShapeError::Geometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ShapeError::Mismatch {
+            left: vec![2, 3],
+            right: vec![4, 5],
+            op: "matmul",
+        };
+        assert!(e.to_string().contains("matmul"));
+        let e = ShapeError::Rank { expected: 2, actual: 4, op: "matmul" };
+        assert!(e.to_string().contains("rank 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

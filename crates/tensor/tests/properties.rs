@@ -1,0 +1,129 @@
+//! Property-based tests for tensor algebra invariants.
+
+use mpt_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(vec![r, c], data).expect("valid"))
+    })
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) up to FP32 noise.
+    #[test]
+    fn matmul_associative(
+        a in small_matrix(6),
+        bdata in proptest::collection::vec(-10.0f32..10.0, 36),
+        cdata in proptest::collection::vec(-10.0f32..10.0, 36),
+    ) {
+        let k = a.shape()[1];
+        let b = Tensor::from_vec(vec![k, 36 / k], bdata[..k * (36 / k)].to_vec()).expect("valid");
+        let m = b.shape()[1];
+        let c = Tensor::from_vec(vec![m, 36 / m], cdata[..m * (36 / m)].to_vec()).expect("valid");
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + x.abs()), "{} vs {}", x, y);
+        }
+    }
+
+    /// Transposition reverses products: (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_law(a in small_matrix(6), bcols in 1usize..6) {
+        let k = a.shape()[1];
+        let b = Tensor::from_fn(vec![k, bcols], |i| ((i * 31 % 17) as f32 - 8.0) * 0.3);
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Double transpose is the identity.
+    #[test]
+    fn transpose_involution(a in small_matrix(8)) {
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    /// matmul distributes over addition.
+    #[test]
+    fn matmul_distributes(a in small_matrix(5), seed in 0u64..100) {
+        let k = a.shape()[1];
+        let b = Tensor::from_fn(vec![k, 4], |i| (((i as u64 + seed) * 37 % 19) as f32 - 9.0) * 0.2);
+        let c = Tensor::from_fn(vec![k, 4], |i| (((i as u64 + seed) * 53 % 23) as f32 - 11.0) * 0.1);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    /// pad_to then crop_to round-trips.
+    #[test]
+    fn pad_crop_roundtrip(a in small_matrix(8), extra_r in 0usize..5, extra_c in 0usize..5) {
+        let (r, c) = (a.shape()[0], a.shape()[1]);
+        let padded = a.pad_to(r + extra_r, c + extra_c).unwrap();
+        prop_assert_eq!(padded.crop_to(r, c).unwrap(), a);
+    }
+
+    /// Padding preserves matmul results: crop((A_pad)·(B_pad)) == A·B.
+    /// This is the property the FPGA padding pipeline relies on.
+    #[test]
+    fn padded_matmul_equals_unpadded(
+        a in small_matrix(6),
+        bcols in 1usize..6,
+        pad in 0usize..8,
+    ) {
+        let (n, k) = (a.shape()[0], a.shape()[1]);
+        let b = Tensor::from_fn(vec![k, bcols], |i| ((i * 41 % 13) as f32 - 6.0) * 0.4);
+        let plain = a.matmul(&b).unwrap();
+        let ap = a.pad_to(n + pad, k + pad).unwrap();
+        let bp = b.pad_to(k + pad, bcols + pad).unwrap();
+        let padded = ap.matmul(&bp).unwrap().crop_to(n, bcols).unwrap();
+        for (x, y) in plain.data().iter().zip(padded.data()) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+        }
+    }
+
+    /// im2col/col2im adjointness: <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn im2col_adjoint(
+        n in 1usize..3,
+        c in 1usize..3,
+        hw in 3usize..7,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let geom = match Conv2dGeometry::new(hw, hw, kernel, kernel, stride, padding) {
+            Ok(g) => g,
+            Err(_) => return Ok(()),
+        };
+        let x = Tensor::from_fn(vec![n, c, hw, hw], |i| {
+            (((i as u64 + seed) * 2654435761 % 101) as f32 - 50.0) * 0.07
+        });
+        let cols = im2col(&x, &geom).unwrap();
+        let y = Tensor::from_fn(cols.shape().to_vec(), |i| {
+            (((i as u64 + seed) * 40503 % 97) as f32 - 48.0) * 0.05
+        });
+        let folded = col2im(&y, n, c, &geom).unwrap();
+        let lhs: f64 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = x.data().iter().zip(folded.data()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-4 * lhs.abs().max(1.0), "{} vs {}", lhs, rhs);
+    }
+
+    /// sum_rows equals matmul with a ones row-vector.
+    #[test]
+    fn sum_rows_matches_ones_product(a in small_matrix(8)) {
+        let (r, _c) = (a.shape()[0], a.shape()[1]);
+        let ones = Tensor::ones(vec![1, r]);
+        let via_mm = ones.matmul(&a).unwrap();
+        let direct = a.sum_rows().unwrap();
+        for (x, y) in via_mm.data().iter().zip(direct.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

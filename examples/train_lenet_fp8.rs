@@ -1,0 +1,45 @@
+//! End-to-end mixed-precision training: LeNet5 on the synthetic
+//! MNIST stand-in with the paper's FP8×FP12-SR arithmetic and
+//! adaptive loss scaling (initial factor 256).
+//!
+//! ```text
+//! cargo run --release -p mpt-core --example train_lenet_fp8
+//! ```
+
+use mpt_core::trainer::{evaluate_cnn, train_cnn, TrainConfig};
+use mpt_data::synthetic_mnist;
+use mpt_models::lenet5;
+use mpt_nn::{GemmPrecision, Sgd};
+
+fn main() {
+    let train = synthetic_mnist(512, 1);
+    let test = synthetic_mnist(256, 2);
+
+    for (label, prec) in [
+        ("FP32 baseline (E8M23-RN)", GemmPrecision::fp32()),
+        ("FP8 x FP12-SR (paper config)", GemmPrecision::fp8_fp12_sr().with_seed(3)),
+    ] {
+        let model = lenet5(prec, 5);
+        println!("== {label} ==");
+        println!("  untrained accuracy: {:.2}%", evaluate_cnn(&model, &test, 32));
+        let mut opt = Sgd::new(0.02, 0.9, 0.0);
+        let report = train_cnn(
+            &model,
+            &mut opt,
+            &train,
+            &test,
+            TrainConfig { epochs: 3, batch_size: 32, loss_scale: 256.0, seed: 0 },
+        );
+        for (e, loss) in report.epoch_losses.iter().enumerate() {
+            println!("  epoch {e}: mean loss {loss:.4}");
+        }
+        println!(
+            "  final accuracy: {:.2}%  (loss-scale overflows: {})\n",
+            report.test_accuracy, report.overflows
+        );
+    }
+    println!(
+        "Both runs converge on the easy tier — the paper's Table II LeNet5 column,\n\
+         where even aggressive formats reach near-baseline accuracy."
+    );
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate for workspace-level integration tests (see `tests/tests/`).

@@ -1,0 +1,103 @@
+//! End-to-end mixed-precision training across the full stack:
+//! datasets → models → tape → quantized GEMMs → optimizer → metrics.
+
+use mpt_arith::QGemmConfig;
+use mpt_core::trainer::{train_cnn, train_gpt, TrainConfig};
+use mpt_data::{synthetic_mnist, CharCorpus};
+use mpt_formats::Rounding;
+use mpt_arith::MacConfig;
+use mpt_models::{lenet5, NanoGpt, NanoGptConfig};
+use mpt_nn::{Adam, GemmPrecision, Layer, Sgd};
+
+fn cfg(epochs: usize) -> TrainConfig {
+    TrainConfig { epochs, batch_size: 32, loss_scale: 256.0, seed: 0 }
+}
+
+#[test]
+fn lenet_fp32_converges_on_easy_tier() {
+    let train = synthetic_mnist(384, 1);
+    let test = synthetic_mnist(192, 2);
+    let model = lenet5(GemmPrecision::fp32(), 3);
+    let mut opt = Sgd::new(0.02, 0.9, 0.0);
+    let report = train_cnn(&model, &mut opt, &train, &test, cfg(3));
+    assert!(report.test_accuracy > 80.0, "FP32: {}", report.test_accuracy);
+}
+
+#[test]
+fn lenet_fp8_sr_tracks_baseline() {
+    // Table II LeNet5 column: E6M5-SR reaches near-baseline accuracy.
+    let train = synthetic_mnist(384, 1);
+    let test = synthetic_mnist(192, 2);
+    let model = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(5), 3);
+    let mut opt = Sgd::new(0.02, 0.9, 0.0);
+    let report = train_cnn(&model, &mut opt, &train, &test, cfg(3));
+    assert!(report.test_accuracy > 70.0, "FP8xFP12-SR: {}", report.test_accuracy);
+}
+
+#[test]
+fn fxp_ro_fails_even_on_easy_tier() {
+    // Table II: FXP4.4-RO is the one configuration that fails even on
+    // LeNet5 (10.00 across the board).
+    let train = synthetic_mnist(256, 1);
+    let test = synthetic_mnist(128, 2);
+    let prec = GemmPrecision::uniform(QGemmConfig::for_mac(MacConfig::fxp4_4(Rounding::ToOdd)))
+        .with_seed(5);
+    let model = lenet5(prec, 3);
+    let mut opt = Sgd::new(0.02, 0.9, 0.0);
+    let report = train_cnn(&model, &mut opt, &train, &test, cfg(3));
+    assert!(
+        report.test_accuracy < 40.0,
+        "FXP4.4-RO unexpectedly converged: {}",
+        report.test_accuracy
+    );
+}
+
+#[test]
+fn gpt_fp32_loss_decreases() {
+    let corpus = CharCorpus::synthetic(5000, 0);
+    let model = NanoGpt::new(
+        NanoGptConfig { vocab: corpus.vocab_size(), layers: 1, heads: 2, embed: 16, block_size: 16 },
+        0.0,
+        GemmPrecision::fp32(),
+        2,
+    );
+    let mut opt = Adam::new(3e-3);
+    let curve = train_gpt(&model, &mut opt, &corpus, 15, 2, 16, 7, 1);
+    assert!(curve.len() >= 2);
+    let first = curve[0].1;
+    let last = curve.last().expect("non-empty").1;
+    assert!(last < first, "validation loss did not fall: {first} -> {last}");
+}
+
+#[test]
+fn gpt_fp8_sr_trains_without_overflowing() {
+    let corpus = CharCorpus::synthetic(5000, 0);
+    let model = NanoGpt::new(
+        NanoGptConfig { vocab: corpus.vocab_size(), layers: 1, heads: 2, embed: 16, block_size: 16 },
+        0.0,
+        GemmPrecision::fp8_fp12_sr().with_seed(17),
+        2,
+    );
+    let mut opt = Adam::new(1e-3);
+    let curve = train_gpt(&model, &mut opt, &corpus, 12, 2, 16, 6, 1);
+    assert!(curve.iter().all(|(_, l)| l.is_finite()), "{curve:?}");
+}
+
+#[test]
+fn quantized_weight_update_keeps_master_weights_on_grid() {
+    // The paper's custom-precision weight-update path.
+    use mpt_formats::{FloatFormat, Quantizer};
+    let train = synthetic_mnist(128, 1);
+    let test = synthetic_mnist(64, 2);
+    let model = lenet5(GemmPrecision::fp32(), 3);
+    let q = Quantizer::float(FloatFormat::e5m10(), Rounding::Nearest);
+    let mut opt = Sgd::new(0.02, 0.9, 0.0).with_update_quantizer(q);
+    let report = train_cnn(&model, &mut opt, &train, &test, cfg(2));
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    let fmt = FloatFormat::e5m10();
+    for p in model.parameters() {
+        for &w in p.value().data() {
+            assert!(fmt.is_representable(w as f64), "{} holds off-grid {w}", p.name());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Whole training steps executed through the FPGA accelerator
+//! backend: forward, backward and weight updates must be bit-for-bit
+//! identical to the CPU-emulation path (the paper's unified
+//! emulation/hardware framework promise), with hardware time
+//! accounted per launch.
+
+use mpt_data::synthetic_mnist;
+use mpt_fpga::{Accelerator, FpgaBackend, SaConfig};
+use mpt_models::lenet5;
+use mpt_nn::{GemmPrecision, Graph, Layer, Optimizer, Sgd};
+use std::rc::Rc;
+
+/// Runs `steps` identical training steps on the given backends and
+/// returns the final flattened parameter vectors.
+fn train_steps(
+    use_fpga: bool,
+    steps: usize,
+) -> (Vec<f32>, usize, f64) {
+    let data = synthetic_mnist(32, 1);
+    let prec = GemmPrecision::fp8_fp12_sr().with_seed(11);
+    let model = lenet5(prec, 7);
+    let params = model.parameters();
+    let mut opt = Sgd::new(0.02, 0.9, 0.0);
+    let backend = Rc::new(FpgaBackend::new(Accelerator::new(
+        SaConfig::new(8, 8, 4).expect("valid"),
+        298.0,
+    )));
+
+    for step in 0..steps {
+        for p in &params {
+            p.zero_grad();
+        }
+        let mut g = if use_fpga {
+            Graph::with_backend(true, backend.clone())
+        } else {
+            Graph::new(true)
+        };
+        let idx: Vec<usize> = (0..16).map(|i| (i + step * 16) % data.len()).collect();
+        let (images, labels) = data.gather(&idx);
+        let x = g.input(images);
+        let logits = model.forward(&mut g, x);
+        let loss = g.cross_entropy(logits, &labels);
+        g.backward(loss, 256.0);
+        for p in &params {
+            let mut grad = p.grad_mut();
+            for v in grad.data_mut() {
+                *v /= 256.0;
+            }
+        }
+        opt.step(&params);
+    }
+
+    let weights: Vec<f32> = params
+        .iter()
+        .flat_map(|p| p.value().data().to_vec())
+        .collect();
+    (weights, backend.gemm_count(), backend.elapsed_s())
+}
+
+#[test]
+fn fpga_training_steps_match_cpu_bitwise() {
+    let (cpu_weights, _, _) = train_steps(false, 2);
+    let (fpga_weights, launches, elapsed) = train_steps(true, 2);
+    assert_eq!(cpu_weights.len(), fpga_weights.len());
+    for (i, (c, f)) in cpu_weights.iter().zip(&fpga_weights).enumerate() {
+        assert!(
+            c.to_bits() == f.to_bits(),
+            "weight {i} diverged: cpu {c} vs fpga {f}"
+        );
+    }
+    // LeNet5 has 2 convs + 3 linears = 5 layers x 3 GEMMs x 2 steps.
+    assert_eq!(launches, 30, "unexpected GEMM launch count");
+    assert!(elapsed > 0.0, "no hardware time accounted");
+}
