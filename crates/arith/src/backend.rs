@@ -6,8 +6,8 @@
 //! graph was given, and `mpt-fpga`'s accelerator implements the trait
 //! — with results guaranteed bit-identical to [`CpuBackend`].
 
-use crate::qgemm::{QGemmConfig};
-use crate::parallel::qgemm_parallel;
+use crate::parallel::{default_threads, qgemm_parallel};
+use crate::qgemm::QGemmConfig;
 use mpt_tensor::{ShapeError, Tensor};
 
 /// An executor for custom-precision GEMMs.
@@ -46,15 +46,15 @@ impl CpuBackend {
     /// A backend with an explicit worker count (results are identical
     /// for any count).
     pub fn with_threads(threads: usize) -> Self {
-        CpuBackend { threads: Some(threads) }
+        CpuBackend {
+            threads: Some(threads),
+        }
     }
 }
 
 impl GemmBackend for CpuBackend {
     fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
-        let threads = self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        });
+        let threads = self.threads.unwrap_or_else(default_threads);
         qgemm_parallel(a, b, cfg, threads)
     }
 
@@ -74,7 +74,10 @@ mod tests {
         let b = Tensor::from_fn(vec![9, 5], |i| ((i * 11 % 13) as f32 - 6.0) * 0.1);
         let cfg = QGemmConfig::fp8_fp12_sr().with_seed(4);
         let backend = CpuBackend::new();
-        assert_eq!(backend.gemm(&a, &b, &cfg).unwrap(), qgemm(&a, &b, &cfg).unwrap());
+        assert_eq!(
+            backend.gemm(&a, &b, &cfg).unwrap(),
+            qgemm(&a, &b, &cfg).unwrap()
+        );
         assert_eq!(backend.label(), "cpu");
     }
 

@@ -1,0 +1,224 @@
+//! Kernel selection and cache-blocked GEMM inner loops.
+//!
+//! [`gemm_into`] inspects the MAC configuration **once** per GEMM and
+//! dispatches to the best inner loop:
+//!
+//! | MAC configuration                  | kernel                       |
+//! |------------------------------------|------------------------------|
+//! | fused (`NR` mul) + float acc       | [`gemm_fused`], monomorphized per rounding mode over [`FloatFastF64`] |
+//! | anything else (fixed, block FP, unfused, `NR` acc) | [`gemm_generic`] — the [`mac_step`] oracle, cache-blocked |
+//!
+//! Both loops are `i / j-tile / k / j` ordered: for each output row, a
+//! `J_TILE`-wide chunk of the output and of each `B` row stays hot in
+//! L1 while the `k` reduction streams through, and every output
+//! element still accumulates over `k` in ascending order — the order
+//! the scalar reference uses, so results are bit-identical by
+//! construction (each element sees the same sequence of `mac_step`
+//! operations with the same event indices).
+//!
+//! Zero skipping matches [`mac_step`]'s `product == 0` short-circuit
+//! exactly: a whole `A`-zero row of work is skipped only when `B` is
+//! known finite (otherwise `0 × inf` must still produce the NaN the
+//! reference produces).
+
+use crate::mac::{mac_step, sr_event_index, MacConfig, MacStage};
+use mpt_formats::fast::mode;
+use mpt_formats::FloatFastF64;
+
+/// Output/B-row chunk width: 256 f32 = 1 KiB per row chunk, so the
+/// output chunk plus the streaming B chunk sit comfortably in L1.
+const J_TILE: usize = 256;
+
+/// One kernel choice, resolved once per GEMM from
+/// `(NumberFormat family, Rounding)` of the MAC stages.
+enum Plan {
+    /// Fused multiplier (exact product) with a float-format
+    /// accumulator: the hot path for every `E*M*` configuration in the
+    /// paper, rounded by the precomputed bit-twiddling kernel.
+    Fused(FloatFastF64),
+    /// Everything else runs the scalar [`mac_step`] oracle inside the
+    /// same cache-blocked loop.
+    Generic,
+}
+
+fn plan(mac: &MacConfig) -> Plan {
+    if mac.is_fused() {
+        if let Some(fast) = mac.acc.fast_f64() {
+            return Plan::Fused(fast);
+        }
+    }
+    Plan::Generic
+}
+
+/// Computes `out += A · B` under `mac` (with `out` starting at zero),
+/// quantized operands already in `ad`/`bd`, indexing rounding events
+/// by global coordinates `(i + row_offset, j + col_offset, k)`.
+///
+/// Bit-identical to the scalar reference loop for all configurations.
+#[allow(clippy::too_many_arguments)] // flat GEMM signature: dims + offsets
+pub(crate) fn gemm_into(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    mac: &MacConfig,
+    row_offset: usize,
+    col_offset: usize,
+) {
+    debug_assert_eq!(out.len(), n * m);
+    debug_assert_eq!(ad.len(), n * k);
+    debug_assert_eq!(bd.len(), k * m);
+    // `product == 0` skipping can only be hoisted to whole-row
+    // granularity when B holds no inf/NaN (0 × inf = NaN must not be
+    // skipped). One O(km) scan amortized over O(nkm) work.
+    let b_all_finite = bd.iter().all(|v| v.is_finite());
+    match plan(mac) {
+        Plan::Fused(acc) => match acc.rounding() {
+            mpt_formats::Rounding::Nearest => gemm_fused::<{ mode::RN }>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                &acc,
+                row_offset,
+                col_offset,
+                b_all_finite,
+            ),
+            mpt_formats::Rounding::TowardZero => gemm_fused::<{ mode::RZ }>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                &acc,
+                row_offset,
+                col_offset,
+                b_all_finite,
+            ),
+            mpt_formats::Rounding::Stochastic { .. } => gemm_fused::<{ mode::SR }>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                &acc,
+                row_offset,
+                col_offset,
+                b_all_finite,
+            ),
+            mpt_formats::Rounding::ToOdd => gemm_fused::<{ mode::RO }>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                &acc,
+                row_offset,
+                col_offset,
+                b_all_finite,
+            ),
+            // `fast_f64` never yields a kernel for NR.
+            mpt_formats::Rounding::NoRound => unreachable!("NR has no fast kernel"),
+        },
+        Plan::Generic => gemm_generic(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            mac,
+            row_offset,
+            col_offset,
+            b_all_finite,
+        ),
+    }
+}
+
+/// Fused-MAC float kernel: exact `f64` product and sum, accumulator
+/// rounded by the monomorphized [`FloatFastF64`] (event-index hashing
+/// fused into the mantissa rounding).
+#[allow(clippy::too_many_arguments)]
+fn gemm_fused<const MODE: u8>(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    acc: &FloatFastF64,
+    row_offset: usize,
+    col_offset: usize,
+    b_all_finite: bool,
+) {
+    for i in 0..n {
+        let gi = i + row_offset;
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * m..(i + 1) * m];
+        let mut j0 = 0;
+        while j0 < m {
+            let j1 = (j0 + J_TILE).min(m);
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 && b_all_finite {
+                    continue;
+                }
+                let av = av as f64;
+                let brow = &bd[kk * m..kk * m + m];
+                for j in j0..j1 {
+                    let product = av * brow[j] as f64;
+                    if product == 0.0 {
+                        continue;
+                    }
+                    let sum = orow[j] as f64 + product;
+                    let idx = sr_event_index(gi, j + col_offset, kk, MacStage::Accumulate);
+                    orow[j] = acc.quantize::<MODE>(sum, idx) as f32;
+                }
+            }
+            j0 = j1;
+        }
+    }
+}
+
+/// Fallback kernel: the scalar [`mac_step`] oracle inside the same
+/// cache-blocked loop (fixed point, block FP, unfused multipliers,
+/// `NR` accumulators).
+#[allow(clippy::too_many_arguments)]
+fn gemm_generic(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    mac: &MacConfig,
+    row_offset: usize,
+    col_offset: usize,
+    b_all_finite: bool,
+) {
+    for i in 0..n {
+        let gi = i + row_offset;
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * m..(i + 1) * m];
+        let mut j0 = 0;
+        while j0 < m {
+            let j1 = (j0 + J_TILE).min(m);
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 && b_all_finite {
+                    continue;
+                }
+                let brow = &bd[kk * m..kk * m + m];
+                for j in j0..j1 {
+                    orow[j] = mac_step(orow[j], av, brow[j], mac, gi, j + col_offset, kk);
+                }
+            }
+            j0 = j1;
+        }
+    }
+}

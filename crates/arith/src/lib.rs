@@ -44,13 +44,14 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub(crate) mod kernels;
 pub mod mac;
 pub mod parallel;
 pub mod qgemm;
 pub mod shape;
 
 pub use backend::{CpuBackend, GemmBackend};
-pub use mac::{mac_step, sr_event_index, MacConfig, MacStage};
-pub use parallel::qgemm_parallel;
-pub use qgemm::{qgemm, qgemm_with_offsets, quantize_matrix, QGemmConfig};
+pub use mac::{input_event_index, mac_step, sr_event_index, MacConfig, MacStage};
+pub use parallel::{default_threads, pool_workers, qgemm_parallel};
+pub use qgemm::{qgemm, qgemm_reference, qgemm_with_offsets, quantize_matrix, QGemmConfig};
 pub use shape::GemmShape;

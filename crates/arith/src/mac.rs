@@ -43,6 +43,27 @@ pub fn sr_event_index(i: usize, j: usize, k: usize, stage: MacStage) -> u64 {
     ((i as u64) << 42) | ((j as u64) << 22) | ((k as u64) << 2) | stage.tag()
 }
 
+/// Computes the rounding-event index for quantizing *input* element
+/// `(row, col)` of a GEMM operand.
+///
+/// Input quantizers draw from their own seeded streams (distinct from
+/// the MAC streams indexed by [`sr_event_index`]), so this packing
+/// only has to be collision-free within one operand: row in the high
+/// 32 bits, column in the low 32. Every input-quantization site —
+/// [`crate::quantize_matrix`], the reference kernel, and the
+/// slice-quantization fast path (which indexes `base + j`
+/// contiguously along a row) — uses this one helper, so partitioned
+/// tiles, padded operands and the FPGA simulator all draw identical
+/// bits. Supports `row, col < 2^32`.
+#[inline]
+pub fn input_event_index(row: usize, col: usize) -> u64 {
+    debug_assert!(
+        (row as u64) < (1 << 32) && (col as u64) < (1 << 32),
+        "input coordinates ({row}, {col}) exceed 32-bit packing"
+    );
+    ((row as u64) << 32) | col as u64
+}
+
 /// Configuration of one MAC unit: multiplier-output quantizer and
 /// accumulator quantizer.
 ///
@@ -177,10 +198,12 @@ pub fn mac_step(acc: f32, a: f32, b: f32, mac: &MacConfig, i: usize, j: usize, k
     let product = if mac.is_fused() {
         product
     } else {
-        mac.mul.quantize(product, sr_event_index(i, j, k, MacStage::Multiply))
+        mac.mul
+            .quantize(product, sr_event_index(i, j, k, MacStage::Multiply))
     };
     let sum = acc as f64 + product;
-    mac.acc.quantize(sum, sr_event_index(i, j, k, MacStage::Accumulate)) as f32
+    mac.acc
+        .quantize(sum, sr_event_index(i, j, k, MacStage::Accumulate)) as f32
 }
 
 #[cfg(test)]
@@ -268,8 +291,12 @@ mod tests {
     fn seeding_changes_stochastic_results() {
         let a = MacConfig::fp8_fp12_sr().with_seed(1);
         let b = MacConfig::fp8_fp12_sr().with_seed(2);
-        let ra: Vec<f32> = (0..64).map(|k| mac_step(10.0, 0.3, 0.7, &a, 0, 0, k)).collect();
-        let rb: Vec<f32> = (0..64).map(|k| mac_step(10.0, 0.3, 0.7, &b, 0, 0, k)).collect();
+        let ra: Vec<f32> = (0..64)
+            .map(|k| mac_step(10.0, 0.3, 0.7, &a, 0, 0, k))
+            .collect();
+        let rb: Vec<f32> = (0..64)
+            .map(|k| mac_step(10.0, 0.3, 0.7, &b, 0, 0, k))
+            .collect();
         assert_ne!(ra, rb);
     }
 

@@ -1,21 +1,145 @@
-//! Multi-threaded custom-precision GEMM.
+//! Multi-threaded custom-precision GEMM on a persistent worker pool.
 //!
 //! Emulating custom precision on CPUs is the slow path the paper
 //! calls out ("training tasks on CPU can be notably slow",
-//! Section III); this module parallelizes the emulation kernel over
-//! output-row blocks with `std::thread::scope`. Because every rounding
-//! event is indexed by logical coordinates (see
-//! [`crate::sr_event_index`]), the result is bit-identical to the
-//! sequential kernel for any thread count.
+//! Section III). This module parallelizes the emulation kernel over a
+//! 2-D grid of output tiles, executed by a process-wide worker pool
+//! that is spawned **once** (first use) and reused by every GEMM —
+//! training steps issue thousands of GEMMs, and per-call
+//! `thread::scope` spawning was measurable overhead at layer sizes.
+//!
+//! Because every rounding event is indexed by logical coordinates
+//! (see [`crate::sr_event_index`]), the result is bit-identical to
+//! the sequential kernel for any thread count and any tile shape.
+//! Operands are quantized once (with global coordinates) and shared
+//! read-only by all tiles, rather than re-quantized per block.
 
-use crate::qgemm::{qgemm_with_offsets, QGemmConfig};
+use crate::kernels::gemm_into;
+use crate::qgemm::{qgemm_with_offsets, quantize_matrix, QGemmConfig};
 use mpt_tensor::{ShapeError, Tensor};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
-/// Computes `A · B` under `cfg` using up to `threads` worker threads.
+/// The machine's available parallelism, resolved once per process
+/// (`available_parallelism` is a syscall; GEMM call sites ask for this
+/// on every invocation).
+pub fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// The process-wide GEMM worker pool: [`default_threads`] detached
+/// workers blocking on a shared queue. Workers survive job panics
+/// (the panic is contained; the submitting GEMM notices the missing
+/// result and re-raises).
+struct Pool {
+    state: Arc<PoolState>,
+    workers: usize,
+}
+
+impl Pool {
+    fn submit(&self, job: Job) {
+        let mut queue = self
+            .state
+            .queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        queue.push_back(job);
+        drop(queue);
+        self.state.available.notify_one();
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = default_threads();
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for w in 0..workers {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("mpt-gemm-{w}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawn GEMM worker");
+        }
+        Pool { state, workers }
+    })
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = state
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = state
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        // Contain panics so one bad job doesn't shrink the pool; the
+        // job's result channel closes, which the submitter detects.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// Picks a `(row_tiles, col_tiles)` grid with `row_tiles·col_tiles <=
+/// threads`, maximizing used parallelism — tall/skinny backward-pass
+/// shapes (large `n`, small `m`, or vice versa) still fan out across
+/// the other dimension.
+fn tile_grid(threads: usize, n: usize, m: usize) -> (usize, usize) {
+    let t = threads.max(1);
+    let mut best = (1, 1);
+    for tr in 1..=t.min(n.max(1)) {
+        let tc = (t / tr).min(m.max(1)).max(1);
+        let better = tr * tc > best.0 * best.1
+            // Among grids using the same parallelism, prefer the most
+            // square one: its tiles share more of each B column block.
+            || (tr * tc == best.0 * best.1
+                && tr.abs_diff(tc) < best.0.abs_diff(best.1));
+        if better {
+            best = (tr, tc);
+        }
+    }
+    best
+}
+
+/// Splits `len` into `parts` near-equal contiguous ranges.
+fn split_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let per = len.div_ceil(parts.max(1));
+    (0..parts)
+        .map(|p| (p * per, ((p + 1) * per).min(len)))
+        .filter(|(s, e)| s < e)
+        .collect()
+}
+
+/// Computes `A · B` under `cfg` using up to `threads` concurrent
+/// tiles, executed on the persistent worker pool.
 ///
-/// Bit-identical to [`crate::qgemm`] — row blocks are computed with
-/// their global row offsets so stochastic rounding draws the same
-/// bits.
+/// Bit-identical to [`crate::qgemm`] — tiles are computed with their
+/// global row/column offsets so stochastic rounding draws the same
+/// bits, and operands are quantized once with global coordinates.
 ///
 /// # Errors
 ///
@@ -37,41 +161,81 @@ pub fn qgemm_parallel(
         });
     }
     let threads = threads.max(1).min(n.max(1));
-    if threads == 1 || n == 0 {
+    if threads == 1 || n == 0 || m == 0 || cfg.is_identity() {
         return qgemm_with_offsets(a, b, cfg, 0, 0);
     }
 
-    let rows_per = n.div_ceil(threads);
-    let mut results: Vec<Option<Result<Tensor, ShapeError>>> = Vec::new();
-    results.resize_with(threads, || None);
+    // Quantize once, with global coordinates, shared by every tile —
+    // the scoped-thread version re-quantized all of B in every block.
+    let aq = Arc::new(quantize_matrix(a, &cfg.quant_a, 0, 0));
+    let bq = Arc::new(quantize_matrix(b, &cfg.quant_b, 0, 0));
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let start = t * rows_per;
-            let end = ((t + 1) * rows_per).min(n);
-            if start >= end {
-                continue;
+    let (tr, tc) = tile_grid(threads, n, m);
+    let row_ranges = split_ranges(n, tr);
+    let col_ranges = split_ranges(m, tc);
+
+    // Each column block of quantized B is packed contiguous once and
+    // shared by the whole column of tiles.
+    let col_blocks: Vec<Arc<Vec<f32>>> = col_ranges
+        .iter()
+        .map(|&(c0, c1)| {
+            let bd = bq.data();
+            let cw = c1 - c0;
+            let mut block = Vec::with_capacity(k * cw);
+            for kk in 0..k {
+                block.extend_from_slice(&bd[kk * m + c0..kk * m + c1]);
             }
-            let block = a.slice_rows(start, end).expect("in range");
-            let b_ref = &*b;
-            let cfg_ref = &*cfg;
-            handles.push((
-                t,
-                scope.spawn(move || qgemm_with_offsets(&block, b_ref, cfg_ref, start, 0)),
-            ));
-        }
-        for (t, h) in handles {
-            results[t] = Some(h.join().expect("worker panicked"));
-        }
-    });
+            Arc::new(block)
+        })
+        .collect();
 
-    let blocks: Result<Vec<Tensor>, ShapeError> = results.into_iter().flatten().collect();
-    let blocks = blocks?;
-    if blocks.is_empty() {
-        return Ok(Tensor::zeros(vec![0, m]));
+    let (sender, receiver) = mpsc::channel::<(usize, usize, Vec<f32>)>();
+    let mac = cfg.mac;
+    let mut tiles = 0usize;
+    for (ri, &(r0, r1)) in row_ranges.iter().enumerate() {
+        for (ci, &(c0, c1)) in col_ranges.iter().enumerate() {
+            let aq = Arc::clone(&aq);
+            let bcol = Arc::clone(&col_blocks[ci]);
+            let sender = sender.clone();
+            tiles += 1;
+            pool().submit(Box::new(move || {
+                let rh = r1 - r0;
+                let cw = c1 - c0;
+                let mut tile = vec![0.0f32; rh * cw];
+                gemm_into(
+                    &mut tile,
+                    &aq.data()[r0 * k..r1 * k],
+                    &bcol,
+                    rh,
+                    k,
+                    cw,
+                    &mac,
+                    r0,
+                    c0,
+                );
+                let _ = sender.send((ri, ci, tile));
+            }));
+        }
     }
-    Tensor::concat_rows(&blocks)
+    drop(sender);
+
+    let mut out = vec![0.0f32; n * m];
+    for _ in 0..tiles {
+        let (ri, ci, tile) = receiver.recv().expect("GEMM tile worker panicked");
+        let (r0, r1) = row_ranges[ri];
+        let (c0, c1) = col_ranges[ci];
+        let cw = c1 - c0;
+        for (local_i, gi) in (r0..r1).enumerate() {
+            out[gi * m + c0..gi * m + c1].copy_from_slice(&tile[local_i * cw..(local_i + 1) * cw]);
+        }
+    }
+    Tensor::from_vec(vec![n, m], out)
+}
+
+/// Number of workers in the persistent pool (spawning it on first
+/// call). Exposed for diagnostics and tests.
+pub fn pool_workers() -> usize {
+    pool().workers
 }
 
 #[cfg(test)]
@@ -130,9 +294,49 @@ mod tests {
     }
 
     #[test]
+    fn empty_columns() {
+        let a = Tensor::zeros(vec![3, 5]);
+        let b = Tensor::zeros(vec![5, 0]);
+        let c = qgemm_parallel(&a, &b, &QGemmConfig::fp8_fp12_sr(), 4).unwrap();
+        assert_eq!(c.shape(), &[3, 0]);
+    }
+
+    #[test]
     fn shape_mismatch_rejected() {
         let a = Tensor::zeros(vec![4, 5]);
         let b = Tensor::zeros(vec![6, 4]);
         assert!(qgemm_parallel(&a, &b, &QGemmConfig::fp32(), 2).is_err());
+    }
+
+    #[test]
+    fn pool_is_persistent_across_calls() {
+        let (a, b) = operands(16, 8, 8);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(2);
+        let first = qgemm_parallel(&a, &b, &cfg, 4).unwrap();
+        let workers = pool_workers();
+        for _ in 0..10 {
+            assert_eq!(qgemm_parallel(&a, &b, &cfg, 4).unwrap(), first);
+        }
+        // Same pool instance: the worker count is stable and no
+        // per-call spawning happened (the pool is a OnceLock).
+        assert_eq!(pool_workers(), workers);
+    }
+
+    #[test]
+    fn tile_grid_covers_skinny_shapes() {
+        // Tall/skinny: parallelism must come from rows.
+        assert_eq!(tile_grid(8, 1000, 1), (8, 1));
+        // Short/wide: from columns.
+        assert_eq!(tile_grid(8, 1, 1000), (1, 8));
+        // Balanced shapes use a 2-D grid.
+        let (tr, tc) = tile_grid(8, 1000, 1000);
+        assert!(tr * tc == 8, "grid ({tr}, {tc})");
+        assert!(tr > 1 && tc > 1, "grid ({tr}, {tc}) not 2-D");
+    }
+
+    #[test]
+    fn split_ranges_partition() {
+        assert_eq!(split_ranges(10, 3), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(split_ranges(2, 4), vec![(0, 1), (1, 2)]);
     }
 }

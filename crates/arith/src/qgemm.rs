@@ -4,7 +4,8 @@
 //! quantize the inputs, run every MAC in the configured formats, and
 //! cast the result back to FP32.
 
-use crate::mac::{mac_step, MacConfig};
+use crate::kernels::gemm_into;
+use crate::mac::{input_event_index, mac_step, MacConfig};
 use mpt_formats::Quantizer;
 use mpt_tensor::{ShapeError, Tensor};
 use std::fmt;
@@ -33,7 +34,11 @@ pub struct QGemmConfig {
 impl QGemmConfig {
     /// Creates a config from operand quantizers and a MAC.
     pub fn new(quant_a: Quantizer, quant_b: Quantizer, mac: MacConfig) -> Self {
-        QGemmConfig { quant_a, quant_b, mac }
+        QGemmConfig {
+            quant_a,
+            quant_b,
+            mac,
+        }
     }
 
     /// Builds a config whose operand quantizers match the MAC's
@@ -44,7 +49,11 @@ impl QGemmConfig {
     pub fn for_mac(mac: MacConfig) -> Self {
         let fmt = mac.mul.format();
         let input = Quantizer::new(fmt, mpt_formats::Rounding::Nearest);
-        QGemmConfig { quant_a: input, quant_b: input, mac }
+        QGemmConfig {
+            quant_a: input,
+            quant_b: input,
+            mac,
+        }
     }
 
     /// Full-precision FP32 GEMM (the emulation baseline).
@@ -129,8 +138,75 @@ pub fn qgemm_with_offsets(
     let bq = quantize_matrix(b, &cfg.quant_b, 0, col_offset);
 
     let mut out = vec![0.0f32; n * m];
-    let ad = aq.data();
-    let bd = bq.data();
+    gemm_into(
+        &mut out,
+        aq.data(),
+        bq.data(),
+        n,
+        k,
+        m,
+        &cfg.mac,
+        row_offset,
+        col_offset,
+    );
+    Tensor::from_vec(vec![n, m], out)
+}
+
+/// The scalar reference kernel: per-element input quantization through
+/// [`Quantizer::quantize_f32`] and a plain `i/j/k` loop of
+/// [`mac_step`] calls — no slice fast paths, no kernel selection, no
+/// cache blocking.
+///
+/// This is the **oracle** the optimized [`qgemm_with_offsets`] path is
+/// property-tested against bit-for-bit; it is not used by the training
+/// stack. Kept deliberately simple so its correctness is auditable by
+/// inspection against the paper's MAC pipeline.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`qgemm`].
+pub fn qgemm_reference(
+    a: &Tensor,
+    b: &Tensor,
+    cfg: &QGemmConfig,
+    row_offset: usize,
+    col_offset: usize,
+) -> Result<Tensor, ShapeError> {
+    let (n, k) = a.as_matrix()?;
+    let (k2, m) = b.as_matrix()?;
+    if k != k2 {
+        return Err(ShapeError::Mismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "qgemm_reference",
+        });
+    }
+    if cfg.is_identity() {
+        return a.matmul(b);
+    }
+
+    let mut ad = a.data().to_vec();
+    if !cfg.quant_a.is_identity() {
+        for i in 0..n {
+            for kk in 0..k {
+                ad[i * k + kk] = cfg
+                    .quant_a
+                    .quantize_f32(ad[i * k + kk], input_event_index(i + row_offset, kk));
+            }
+        }
+    }
+    let mut bd = b.data().to_vec();
+    if !cfg.quant_b.is_identity() {
+        for kk in 0..k {
+            for j in 0..m {
+                bd[kk * m + j] = cfg
+                    .quant_b
+                    .quantize_f32(bd[kk * m + j], input_event_index(kk, j + col_offset));
+            }
+        }
+    }
+
+    let mut out = vec![0.0f32; n * m];
     for i in 0..n {
         let gi = i + row_offset;
         for j in 0..m {
@@ -146,8 +222,15 @@ pub fn qgemm_with_offsets(
 }
 
 /// Quantizes a matrix operand, indexing each element's rounding event
-/// by its *global* `(row, col)` coordinate so partitioned tiles match
-/// the monolithic computation bit-for-bit.
+/// by its *global* `(row, col)` coordinate (packed by
+/// [`input_event_index`]) so partitioned tiles match the monolithic
+/// computation bit-for-bit.
+///
+/// Rows are quantized through the slice fast path
+/// ([`Quantizer::quantize_slice_f32`]); a row's events are the
+/// contiguous indices `input_event_index(row, col_offset) + j`, which
+/// equal `input_event_index(row, col_offset + j)` because columns
+/// occupy the low 32 bits (bounds are debug-asserted).
 ///
 /// Exposed for the systolic-array simulator in `mpt-fpga`, which must
 /// quantize operands identically to the emulation kernel.
@@ -155,23 +238,20 @@ pub fn qgemm_with_offsets(
 /// # Panics
 ///
 /// Panics if `t` is not a matrix.
-pub fn quantize_matrix(
-    t: &Tensor,
-    q: &Quantizer,
-    row_offset: usize,
-    col_offset: usize,
-) -> Tensor {
+pub fn quantize_matrix(t: &Tensor, q: &Quantizer, row_offset: usize, col_offset: usize) -> Tensor {
     if q.is_identity() {
         return t.clone();
     }
     let (r, c) = t.as_matrix().expect("operand is a matrix");
+    debug_assert!(
+        col_offset as u64 + c as u64 <= 1 << 32,
+        "column range [{col_offset}, {col_offset}+{c}) exceeds 32-bit event packing"
+    );
     let mut out = t.clone();
     let data = out.data_mut();
     for i in 0..r {
-        for j in 0..c {
-            let idx = (((i + row_offset) as u64) << 24) | ((j + col_offset) as u64);
-            data[i * c + j] = q.quantize_f32(data[i * c + j], idx);
-        }
+        let base = input_event_index(i + row_offset, col_offset);
+        q.quantize_slice_f32(&mut data[i * c..(i + 1) * c], base);
     }
     out
 }

@@ -50,7 +50,11 @@ impl GemmShape {
     /// accelerator transposed inputs swaps `n` and `m` (the first step
     /// of the paper's mapping optimization, Section IV-B).
     pub fn transposed(&self) -> GemmShape {
-        GemmShape { n: self.m, k: self.k, m: self.n }
+        GemmShape {
+            n: self.m,
+            k: self.k,
+            m: self.n,
+        }
     }
 
     /// Total input + output element count (used for PCIe traffic

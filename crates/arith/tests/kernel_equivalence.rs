@@ -1,0 +1,149 @@
+//! Cross-path bit-equality at the GEMM level: the dispatched fast
+//! kernels behind [`qgemm`] must agree bit for bit with
+//! [`qgemm_reference`] — the plain scalar loop over the reference
+//! quantizer — for every configuration family, rounding mode, shape,
+//! seed and offset, including operands containing zeros, infinities
+//! and saturation-range values.
+
+use mpt_arith::{qgemm_parallel, qgemm_reference, qgemm_with_offsets, MacConfig, QGemmConfig};
+use mpt_formats::{FloatFormat, NumberFormat, Quantizer, Rounding};
+use mpt_tensor::Tensor;
+use proptest::prelude::*;
+
+fn modes() -> impl Strategy<Value = Rounding> {
+    prop_oneof![
+        Just(Rounding::Nearest),
+        Just(Rounding::TowardZero),
+        Just(Rounding::ToOdd),
+        Just(Rounding::NoRound),
+        (1u32..=16).prop_map(|b| Rounding::Stochastic { random_bits: b }),
+    ]
+}
+
+/// The paper's configuration families plus corner variants that route
+/// through every kernel in the dispatch table.
+fn configs() -> impl Strategy<Value = QGemmConfig> {
+    prop_oneof![
+        Just(QGemmConfig::fp32()),
+        Just(QGemmConfig::fp8_fp12_sr()),
+        modes().prop_map(|m| QGemmConfig::for_mac(MacConfig::fp8_fp12(m))),
+        Just(QGemmConfig::for_mac(MacConfig::fp8_fp16_rn())),
+        modes().prop_map(|m| QGemmConfig::for_mac(MacConfig::fxp4_4(m))),
+        // Accumulator variants that stress saturation/subnormal
+        // handling inside the fused fast kernel.
+        modes().prop_map(|m| {
+            let mut cfg = QGemmConfig::for_mac(MacConfig::fp8_fp12(m));
+            cfg.mac.acc = Quantizer::new(
+                NumberFormat::Float(FloatFormat::e4m3().with_infinities()),
+                m,
+            );
+            cfg
+        }),
+        modes().prop_map(|m| {
+            let mut cfg = QGemmConfig::for_mac(MacConfig::fp8_fp12(m));
+            cfg.mac.acc = Quantizer::new(
+                NumberFormat::Float(FloatFormat::e6m5().without_subnormals()),
+                m,
+            );
+            cfg
+        }),
+    ]
+}
+
+fn values(scale: f32) -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-1.0f32..1.0).prop_map(move |v| v * scale),
+        Just(0.0f32),
+        Just(-0.0f32),
+        // Large magnitudes push the low-precision accumulator into its
+        // saturation regime.
+        (-1.0f32..1.0).prop_map(move |v| v * scale * 1.0e4),
+    ]
+}
+
+fn matrix(rows: usize, cols: usize, scale: f32) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(values(scale), rows * cols)
+        .prop_map(move |data| Tensor::from_vec(vec![rows, cols], data).expect("shape fits"))
+}
+
+fn assert_bitwise_eq(fast: &Tensor, reference: &Tensor) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fast.shape(), reference.shape());
+    for (i, (f, r)) in fast.data().iter().zip(reference.data().iter()).enumerate() {
+        prop_assert_eq!(
+            f.to_bits(),
+            r.to_bits(),
+            "element {}: fast {} != reference {}",
+            i,
+            f,
+            r
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dispatched kernels == scalar reference for random shapes,
+    /// configurations, seeds and offsets.
+    #[test]
+    fn qgemm_matches_reference(
+        (n, k, m) in (1usize..12, 1usize..14, 1usize..12),
+        cfg in configs(),
+        seed in 0u64..1 << 20,
+        (ro, co) in (0usize..64, 0usize..64),
+        abig in matrix(11, 13, 4.0),
+        bbig in matrix(13, 11, 4.0),
+    ) {
+        // Carve the generated operands down to the sampled shape.
+        let a = Tensor::from_fn(vec![n, k], |i| abig.data()[i % abig.data().len()]);
+        let b = Tensor::from_fn(vec![k, m], |i| bbig.data()[i % bbig.data().len()]);
+        let cfg = cfg.with_seed(seed);
+        let fast = qgemm_with_offsets(&a, &b, &cfg, ro, co).unwrap();
+        let reference = qgemm_reference(&a, &b, &cfg, ro, co).unwrap();
+        assert_bitwise_eq(&fast, &reference)?;
+    }
+
+    /// The parallel pool path equals the reference too (composition of
+    /// both tentpole pieces).
+    #[test]
+    fn qgemm_parallel_matches_reference(
+        cfg in configs(),
+        seed in 0u64..1 << 20,
+        threads in 1usize..9,
+        a in matrix(9, 12, 3.0),
+        b in matrix(12, 7, 3.0),
+    ) {
+        let cfg = cfg.with_seed(seed);
+        let fast = qgemm_parallel(&a, &b, &cfg, threads).unwrap();
+        let reference = qgemm_reference(&a, &b, &cfg, 0, 0).unwrap();
+        assert_bitwise_eq(&fast, &reference)?;
+    }
+
+    /// Operands containing non-finite values must flow through the
+    /// kernels exactly as through the reference (the row-level zero
+    /// skip may only fire when B is all-finite).
+    #[test]
+    fn non_finite_operands_match_reference(
+        cfg in configs(),
+        seed in 0u64..1 << 16,
+        inf_pos in 0usize..35,
+        zero_row in 0usize..5,
+        a in matrix(5, 7, 2.0),
+        b in matrix(7, 5, 2.0),
+    ) {
+        let cfg = cfg.with_seed(seed);
+        let mut bd = b.data().to_vec();
+        let pos = inf_pos % bd.len();
+        bd[pos] = f32::INFINITY;
+        let b = Tensor::from_vec(vec![7, 5], bd).unwrap();
+        let mut ad = a.data().to_vec();
+        for v in ad[zero_row * 7..(zero_row + 1) * 7].iter_mut() {
+            *v = 0.0; // a whole zero row of A against an inf in B
+        }
+        let a = Tensor::from_vec(vec![5, 7], ad).unwrap();
+        let fast = qgemm_with_offsets(&a, &b, &cfg, 0, 0).unwrap();
+        let reference = qgemm_reference(&a, &b, &cfg, 0, 0).unwrap();
+        assert_bitwise_eq(&fast, &reference)?;
+    }
+}

@@ -3,7 +3,7 @@
 //! scaling of the multi-threaded kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mpt_arith::{qgemm, qgemm_parallel, MacConfig, QGemmConfig};
+use mpt_arith::{default_threads, qgemm, qgemm_parallel, qgemm_reference, MacConfig, QGemmConfig};
 use mpt_formats::Rounding;
 use mpt_tensor::Tensor;
 
@@ -20,17 +20,49 @@ fn bench_configs(c: &mut Criterion) {
     group.throughput(Throughput::Elements((64 * 64 * 64) as u64));
     let cases: Vec<(&str, QGemmConfig)> = vec![
         ("fp32_fast_path", QGemmConfig::fp32()),
-        ("fp8_fp12_rn", QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::Nearest))),
+        (
+            "fp8_fp12_rn",
+            QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::Nearest)),
+        ),
         ("fp8_fp12_sr", QGemmConfig::fp8_fp12_sr()),
-        ("fp8_fp12_rz", QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::TowardZero))),
-        ("fp8_fp16_rn", QGemmConfig::for_mac(MacConfig::fp8_fp16_rn())),
-        ("fxp44_rn", QGemmConfig::for_mac(MacConfig::fxp4_4(Rounding::Nearest))),
+        (
+            "fp8_fp12_rz",
+            QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::TowardZero)),
+        ),
+        (
+            "fp8_fp16_rn",
+            QGemmConfig::for_mac(MacConfig::fp8_fp16_rn()),
+        ),
+        (
+            "fxp44_rn",
+            QGemmConfig::for_mac(MacConfig::fxp4_4(Rounding::Nearest)),
+        ),
     ];
     for (name, cfg) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |bch, cfg| {
             bch.iter(|| qgemm(&a, &b, cfg).expect("conforming"))
         });
     }
+    group.finish();
+}
+
+/// Fast dispatched kernels versus the scalar reference loop on the
+/// headline shape/config — the speedup the kernel layer buys (both
+/// paths are bit-identical, asserted by `tests/kernel_equivalence.rs`).
+fn bench_kernels(c: &mut Criterion) {
+    let (a, b) = operands(128, 96, 96);
+    let cfg = QGemmConfig::fp8_fp12_sr();
+    let mut group = c.benchmark_group("qgemm_kernels_128x96x96");
+    group.throughput(Throughput::Elements((128 * 96 * 96) as u64));
+    group.bench_function("fp8_fp12_sr_reference", |bch| {
+        bch.iter(|| qgemm_reference(&a, &b, &cfg, 0, 0).expect("conforming"))
+    });
+    group.bench_function("fp8_fp12_sr_fast", |bch| {
+        bch.iter(|| qgemm(&a, &b, &cfg).expect("conforming"))
+    });
+    group.bench_function("fp8_fp12_sr_fast_pool", |bch| {
+        bch.iter(|| qgemm_parallel(&a, &b, &cfg, default_threads()).expect("conforming"))
+    });
     group.finish();
 }
 
@@ -51,8 +83,8 @@ criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_configs, bench_threads
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_configs, bench_kernels, bench_threads
 }
 criterion_main!(benches);

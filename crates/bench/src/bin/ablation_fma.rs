@@ -35,7 +35,10 @@ fn main() {
 
     println!("Ablation — fused (NR) vs rounded multiplier, {n}x{n}x{n} GEMM\n");
     let mut t = TableWriter::new(vec!["Multiplier", "Accumulator", "RMS error", "Max error"]);
-    for (mul_label, mul_round) in [("E5M2-NR (fused)", Rounding::NoRound), ("E5M2-RN (rounded)", Rounding::Nearest)] {
+    for (mul_label, mul_round) in [
+        ("E5M2-NR (fused)", Rounding::NoRound),
+        ("E5M2-RN (rounded)", Rounding::Nearest),
+    ] {
         for (acc_label, acc_fmt, acc_round) in [
             ("E6M5-RN", FloatFormat::e6m5(), Rounding::Nearest),
             ("E6M5-SR", FloatFormat::e6m5(), Rounding::stochastic()),

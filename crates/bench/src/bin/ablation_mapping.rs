@@ -19,7 +19,11 @@ fn main() {
     let db = SynthesisDb::u55();
     println!("Ablation — mapping optimization (Section IV-B) on vs off\n");
     let mut t = TableWriter::new(vec![
-        "Benchmark", "Config", "Mapped (s)", "Naive (s)", "Gain (%)",
+        "Benchmark",
+        "Config",
+        "Mapped (s)",
+        "Naive (s)",
+        "Gain (%)",
     ]);
     for model in ModelDesc::all_benchmarks() {
         let workload = model.training_gemms();

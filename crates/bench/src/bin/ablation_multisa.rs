@@ -44,8 +44,8 @@ fn main() {
             for &s in &workload {
                 let mapping = best_mapping(s, cfg, f, 8, 8);
                 logical += s.macs();
-                executed += PaddedGemm::new(mapping.effective_shape(), cfg, 8).core_macs()
-                    * cfg.c();
+                executed +=
+                    PaddedGemm::new(mapping.effective_shape(), cfg, 8).core_macs() * cfg.c();
             }
             100.0 * logical as f64 / executed as f64
         };

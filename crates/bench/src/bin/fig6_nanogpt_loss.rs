@@ -44,8 +44,20 @@ fn main() {
         let prec = GemmPrecision::uniform(QGemmConfig::for_mac(*mac)).with_seed(13);
         let model = NanoGpt::new(NanoGptConfig::scaled(corpus.vocab_size()), 0.0, prec, 5);
         let mut opt = Adam::new(1e-3);
-        let curve = train_gpt(&model, &mut opt, &corpus, iters, batch, block, iters.div_ceil(8).max(1), 3);
-        eprintln!("  {label}: final val loss {:.4}", curve.last().map(|c| c.1).unwrap_or(f32::NAN));
+        let curve = train_gpt(
+            &model,
+            &mut opt,
+            &corpus,
+            iters,
+            batch,
+            block,
+            iters.div_ceil(8).max(1),
+            3,
+        );
+        eprintln!(
+            "  {label}: final val loss {:.4}",
+            curve.last().map(|c| c.1).unwrap_or(f32::NAN)
+        );
         curves.push((label, curve));
     }
 

@@ -25,7 +25,12 @@ fn main() {
          and chosen <N,M,C> configuration per benchmark\n"
     );
     let mut t = TableWriter::new(vec![
-        "Benchmark", "<N,M,C>", "F (MHz)", "Estimated (s)", "Measured (s)", "Gap (%)",
+        "Benchmark",
+        "<N,M,C>",
+        "F (MHz)",
+        "Estimated (s)",
+        "Measured (s)",
+        "Gap (%)",
     ]);
     for model in ModelDesc::all_benchmarks() {
         let workload = model.training_gemms();

@@ -61,7 +61,10 @@ fn main() {
     for bits in [1u32, 3, 5, 8, 10, 13, 16, 24] {
         let mac = MacConfig::new(
             Quantizer::float(FloatFormat::e5m2(), Rounding::NoRound),
-            Quantizer::float(FloatFormat::e6m5(), Rounding::Stochastic { random_bits: bits }),
+            Quantizer::float(
+                FloatFormat::e6m5(),
+                Rounding::Stochastic { random_bits: bits },
+            ),
         )
         .with_seed(5);
         run("E6M5-SR", mac, Some(bits));

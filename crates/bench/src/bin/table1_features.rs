@@ -11,7 +11,14 @@ use mpt_core::features::table_i;
 fn main() {
     println!("Table I — DNN training simulation frameworks\n");
     let mut t = TableWriter::new(vec![
-        "Framework", "Base", "GPU", "FPGA", "Transformer", "FMA", "Emulation", "Formats",
+        "Framework",
+        "Base",
+        "GPU",
+        "FPGA",
+        "Transformer",
+        "FMA",
+        "Emulation",
+        "Formats",
         "Rounding",
     ]);
     for row in table_i() {

@@ -55,7 +55,7 @@ fn main() {
          ({scale:?} scale, {budget_min:.0}-minute budget; 'n/r' = cell not run)\n"
     );
 
-    let benches = vec![
+    let benches = [
         Bench {
             name: "LeNet5",
             train: synthetic_mnist(scale.train_samples(512), 1),
@@ -118,7 +118,12 @@ fn main() {
     }
 
     let mut t = TableWriter::new(vec![
-        "Multiplier", "Accumulator", "LeNet5", "ResNet20", "VGG16", "ResNet50",
+        "Multiplier",
+        "Accumulator",
+        "LeNet5",
+        "ResNet20",
+        "VGG16",
+        "ResNet50",
     ]);
     for (row, (mul_label, acc_label, _)) in configs.iter().enumerate() {
         let mut cols = vec![mul_label.to_string(), acc_label.to_string()];
@@ -141,7 +146,12 @@ fn run_cell(bench: &Bench, mac: MacConfig) -> f32 {
         &mut opt,
         &bench.train,
         &bench.test,
-        TrainConfig { epochs: bench.epochs, batch_size: 32, loss_scale: 256.0, seed: 11 },
+        TrainConfig {
+            epochs: bench.epochs,
+            batch_size: 32,
+            loss_scale: 256.0,
+            seed: 11,
+        },
     );
     report.test_accuracy
 }

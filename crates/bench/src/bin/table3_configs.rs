@@ -14,7 +14,9 @@ fn main() {
         "Table III — accelerator configurations (N = #PEs, M = #MACs/PE,\n\
          C = max #cores, with chip utilization at C)\n"
     );
-    let mut t = TableWriter::new(vec!["N", "M", "C", "F (MHz)", "LUT (%)", "BRAM (%)", "DSP (%)"]);
+    let mut t = TableWriter::new(vec![
+        "N", "M", "C", "F (MHz)", "LUT (%)", "BRAM (%)", "DSP (%)",
+    ]);
     for p in db.points() {
         t.row(vec![
             p.n.to_string(),

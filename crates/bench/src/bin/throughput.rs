@@ -19,9 +19,18 @@ fn main() {
     for (name, cfg) in [
         ("fp32 fast path", QGemmConfig::fp32()),
         ("fp8 x fp12-SR", QGemmConfig::fp8_fp12_sr()),
-        ("fp8 x fp12-RN", QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::Nearest))),
-        ("fp8 x fp12-RZ", QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::TowardZero))),
-        ("fxp4.4-RN", QGemmConfig::for_mac(MacConfig::fxp4_4(Rounding::Nearest))),
+        (
+            "fp8 x fp12-RN",
+            QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::Nearest)),
+        ),
+        (
+            "fp8 x fp12-RZ",
+            QGemmConfig::for_mac(MacConfig::fp8_fp12(Rounding::TowardZero)),
+        ),
+        (
+            "fxp4.4-RN",
+            QGemmConfig::for_mac(MacConfig::fxp4_4(Rounding::Nearest)),
+        ),
     ] {
         let t0 = Instant::now();
         let mut n = 0u64;
@@ -30,6 +39,9 @@ fn main() {
             n += 1;
         }
         let macs = n as f64 * 128f64.powi(3);
-        println!("  {name:<16} {:>8.1} Mmac/s", macs / t0.elapsed().as_secs_f64() / 1e6);
+        println!(
+            "  {name:<16} {:>8.1} Mmac/s",
+            macs / t0.elapsed().as_secs_f64() / 1e6
+        );
     }
 }

@@ -27,7 +27,7 @@ pub mod report;
 pub mod scale;
 
 pub use report::TableWriter;
-pub use scale::{RunScale, run_scale};
+pub use scale::{run_scale, RunScale};
 
 /// The MAC configurations of Table II, in row order, with the
 /// paper's cell labels.
@@ -35,15 +35,31 @@ pub fn table2_configs() -> Vec<(&'static str, &'static str, mpt_arith::MacConfig
     use mpt_arith::MacConfig;
     use mpt_formats::Rounding;
     vec![
-        ("E5M2-NR", "E6M5-RZ", MacConfig::fp8_fp12(Rounding::TowardZero)),
+        (
+            "E5M2-NR",
+            "E6M5-RZ",
+            MacConfig::fp8_fp12(Rounding::TowardZero),
+        ),
         ("E5M2-NR", "E6M5-RO", MacConfig::fp8_fp12(Rounding::ToOdd)),
         ("E5M2-NR", "E6M5-RN", MacConfig::fp8_fp12(Rounding::Nearest)),
-        ("E5M2-NR", "E6M5-SR", MacConfig::fp8_fp12(Rounding::stochastic())),
+        (
+            "E5M2-NR",
+            "E6M5-SR",
+            MacConfig::fp8_fp12(Rounding::stochastic()),
+        ),
         ("E5M2-NR", "E5M10-RN", MacConfig::fp8_fp16_rn()),
         ("E8M23-RN", "E8M23-RN", MacConfig::fp32()),
         ("FXP4.4-RN", "FXP8.8", MacConfig::fxp4_4(Rounding::Nearest)),
-        ("FXP4.4-SR", "FXP8.8", MacConfig::fxp4_4(Rounding::stochastic())),
-        ("FXP4.4-RZ", "FXP8.8", MacConfig::fxp4_4(Rounding::TowardZero)),
+        (
+            "FXP4.4-SR",
+            "FXP8.8",
+            MacConfig::fxp4_4(Rounding::stochastic()),
+        ),
+        (
+            "FXP4.4-RZ",
+            "FXP8.8",
+            MacConfig::fxp4_4(Rounding::TowardZero),
+        ),
         ("FXP4.4-RO", "FXP8.8", MacConfig::fxp4_4(Rounding::ToOdd)),
     ]
 }

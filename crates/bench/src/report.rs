@@ -22,7 +22,10 @@ pub struct TableWriter {
 impl TableWriter {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<&str>) -> Self {
-        TableWriter { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+        TableWriter {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header count).

@@ -40,7 +40,11 @@ impl RunScale {
 /// Reads `MPT_SCALE` (`quick` / `default` / `full`; default
 /// `default`).
 pub fn run_scale() -> RunScale {
-    match std::env::var("MPT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("MPT_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "quick" => RunScale::Quick,
         "full" => RunScale::Full,
         _ => RunScale::Default,

@@ -5,7 +5,7 @@
 //! accelerator. Both paths produce bit-identical results; the FPGA
 //! path additionally reports its measured latency.
 
-use mpt_arith::{qgemm_parallel, QGemmConfig};
+use mpt_arith::{default_threads, qgemm_parallel, QGemmConfig};
 use mpt_fpga::{Accelerator, MeasuredLatency, SaConfig, SynthesisDb};
 use mpt_tensor::{ShapeError, Tensor};
 
@@ -26,7 +26,12 @@ impl Device {
     ///
     /// Returns [`mpt_fpga::ConfigError`] if the configuration is
     /// invalid or absent from the database.
-    pub fn fpga(n: usize, m: usize, c: usize, db: &SynthesisDb) -> Result<Self, mpt_fpga::ConfigError> {
+    pub fn fpga(
+        n: usize,
+        m: usize,
+        c: usize,
+        db: &SynthesisDb,
+    ) -> Result<Self, mpt_fpga::ConfigError> {
         let cfg = SaConfig::new(n, m, c)?;
         db.validate(cfg)?;
         let freq = db
@@ -53,11 +58,7 @@ impl Device {
         cfg: &QGemmConfig,
     ) -> Result<(Tensor, Option<MeasuredLatency>), ShapeError> {
         match self {
-            Device::Cpu => {
-                let threads =
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-                Ok((qgemm_parallel(a, b, cfg, threads)?, None))
-            }
+            Device::Cpu => Ok((qgemm_parallel(a, b, cfg, default_threads())?, None)),
             Device::Fpga(acc) => {
                 let (c, lat) = acc.execute(a, b, cfg)?;
                 Ok((c, Some(lat)))

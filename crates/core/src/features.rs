@@ -51,15 +51,105 @@ pub struct FrameworkRow {
 pub fn table_i() -> Vec<FrameworkRow> {
     use Support::{No, Unspecified, Yes};
     vec![
-        FrameworkRow { name: "AdaPT", base: "PyTorch", gpu: No, fpga: No, transformer: Yes, fma: No, emulation: Yes, formats: "FXP", rounding: "-" },
-        FrameworkRow { name: "ApproxTrain", base: "TensorFlow", gpu: Yes, fpga: No, transformer: Yes, fma: No, emulation: Yes, formats: "FP", rounding: "RZ" },
-        FrameworkRow { name: "Cheetah", base: "TensorFlow", gpu: No, fpga: No, transformer: No, fma: No, emulation: Yes, formats: "Posit,FP", rounding: "RN" },
-        FrameworkRow { name: "GoldenEye", base: "PyTorch", gpu: Yes, fpga: No, transformer: Yes, fma: No, emulation: Yes, formats: "FXP,FP,BFP", rounding: "RN,RZ" },
-        FrameworkRow { name: "QPytorch", base: "PyTorch", gpu: Yes, fpga: No, transformer: No, fma: No, emulation: No, formats: "FXP,FP,BFP", rounding: "RN,RZ,SR" },
-        FrameworkRow { name: "FASE", base: "PyTorch,Caffe", gpu: No, fpga: No, transformer: Yes, fma: Yes, emulation: Yes, formats: "FP", rounding: "RN" },
-        FrameworkRow { name: "Archimedes-MPO", base: "TinyDNN", gpu: Yes, fpga: Yes, transformer: No, fma: Yes, emulation: Yes, formats: "FXP,FP", rounding: "RN" },
-        FrameworkRow { name: "MPTorch-FPGA", base: "PyTorch", gpu: Yes, fpga: Yes, transformer: Yes, fma: Yes, emulation: Yes, formats: "FXP,FP", rounding: "RN,RZ,SR,RO" },
-        FrameworkRow { name: "(this repo)", base: "Rust", gpu: Unspecified, fpga: Yes, transformer: Yes, fma: Yes, emulation: Yes, formats: "FXP,FP,BFP", rounding: "RN,RZ,SR,RO,NR" },
+        FrameworkRow {
+            name: "AdaPT",
+            base: "PyTorch",
+            gpu: No,
+            fpga: No,
+            transformer: Yes,
+            fma: No,
+            emulation: Yes,
+            formats: "FXP",
+            rounding: "-",
+        },
+        FrameworkRow {
+            name: "ApproxTrain",
+            base: "TensorFlow",
+            gpu: Yes,
+            fpga: No,
+            transformer: Yes,
+            fma: No,
+            emulation: Yes,
+            formats: "FP",
+            rounding: "RZ",
+        },
+        FrameworkRow {
+            name: "Cheetah",
+            base: "TensorFlow",
+            gpu: No,
+            fpga: No,
+            transformer: No,
+            fma: No,
+            emulation: Yes,
+            formats: "Posit,FP",
+            rounding: "RN",
+        },
+        FrameworkRow {
+            name: "GoldenEye",
+            base: "PyTorch",
+            gpu: Yes,
+            fpga: No,
+            transformer: Yes,
+            fma: No,
+            emulation: Yes,
+            formats: "FXP,FP,BFP",
+            rounding: "RN,RZ",
+        },
+        FrameworkRow {
+            name: "QPytorch",
+            base: "PyTorch",
+            gpu: Yes,
+            fpga: No,
+            transformer: No,
+            fma: No,
+            emulation: No,
+            formats: "FXP,FP,BFP",
+            rounding: "RN,RZ,SR",
+        },
+        FrameworkRow {
+            name: "FASE",
+            base: "PyTorch,Caffe",
+            gpu: No,
+            fpga: No,
+            transformer: Yes,
+            fma: Yes,
+            emulation: Yes,
+            formats: "FP",
+            rounding: "RN",
+        },
+        FrameworkRow {
+            name: "Archimedes-MPO",
+            base: "TinyDNN",
+            gpu: Yes,
+            fpga: Yes,
+            transformer: No,
+            fma: Yes,
+            emulation: Yes,
+            formats: "FXP,FP",
+            rounding: "RN",
+        },
+        FrameworkRow {
+            name: "MPTorch-FPGA",
+            base: "PyTorch",
+            gpu: Yes,
+            fpga: Yes,
+            transformer: Yes,
+            fma: Yes,
+            emulation: Yes,
+            formats: "FXP,FP",
+            rounding: "RN,RZ,SR,RO",
+        },
+        FrameworkRow {
+            name: "(this repo)",
+            base: "Rust",
+            gpu: Unspecified,
+            fpga: Yes,
+            transformer: Yes,
+            fma: Yes,
+            emulation: Yes,
+            formats: "FXP,FP,BFP",
+            rounding: "RN,RZ,SR,RO,NR",
+        },
     ]
 }
 
@@ -71,8 +161,14 @@ mod tests {
     fn table_has_all_paper_frameworks() {
         let names: Vec<_> = table_i().iter().map(|r| r.name).collect();
         for expected in [
-            "AdaPT", "ApproxTrain", "Cheetah", "GoldenEye", "QPytorch", "FASE",
-            "Archimedes-MPO", "MPTorch-FPGA",
+            "AdaPT",
+            "ApproxTrain",
+            "Cheetah",
+            "GoldenEye",
+            "QPytorch",
+            "FASE",
+            "Archimedes-MPO",
+            "MPTorch-FPGA",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

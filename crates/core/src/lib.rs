@@ -39,4 +39,4 @@ pub mod trainer;
 
 pub use device::Device;
 pub use matching::{select_accelerator, sweep_core_counts, MatchResult};
-pub use trainer::{train_cnn, train_gpt, evaluate_cnn, TrainConfig, TrainReport};
+pub use trainer::{evaluate_cnn, train_cnn, train_gpt, TrainConfig, TrainReport};

@@ -41,7 +41,11 @@ pub fn estimate_iteration(
 ) -> f64 {
     workload
         .iter()
-        .map(|&s| best_mapping(s, cfg, freq_mhz, in_bits, OUT_BITS).latency.total_s)
+        .map(|&s| {
+            best_mapping(s, cfg, freq_mhz, in_bits, OUT_BITS)
+                .latency
+                .total_s
+        })
         .sum()
 }
 
@@ -72,20 +76,21 @@ pub fn measure_iteration(
 /// # Panics
 ///
 /// Panics if the database is empty.
-pub fn select_accelerator(
-    workload: &[GemmShape],
-    db: &SynthesisDb,
-    in_bits: u32,
-) -> MatchResult {
+pub fn select_accelerator(workload: &[GemmShape], db: &SynthesisDb, in_bits: u32) -> MatchResult {
     let mut best: Option<MatchResult> = None;
     for cfg in db.feasible_configs() {
         let freq = db
             .frequency(cfg.n(), cfg.m(), cfg.c())
             .expect("feasible configs have frequencies");
         let estimated = estimate_iteration(workload, cfg, freq, in_bits);
-        if best.map_or(true, |b| estimated < b.estimated_s) {
+        if best.is_none_or(|b| estimated < b.estimated_s) {
             let measured = measure_iteration(workload, cfg, freq, in_bits);
-            best = Some(MatchResult { config: cfg, freq_mhz: freq, estimated_s: estimated, measured_s: measured });
+            best = Some(MatchResult {
+                config: cfg,
+                freq_mhz: freq,
+                estimated_s: estimated,
+                measured_s: measured,
+            });
         }
     }
     best.expect("configuration database is non-empty")

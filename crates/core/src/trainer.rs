@@ -25,7 +25,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 2, batch_size: 32, loss_scale: 256.0, seed: 0 }
+        TrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            loss_scale: 256.0,
+            seed: 0,
+        }
     }
 }
 
@@ -78,7 +83,11 @@ pub fn train_cnn(
                 optimizer.step(&params);
             }
         }
-        epoch_losses.push(if batches > 0 { (loss_sum / batches as f64) as f32 } else { f32::NAN });
+        epoch_losses.push(if batches > 0 {
+            (loss_sum / batches as f64) as f32
+        } else {
+            f32::NAN
+        });
     }
     TrainReport {
         epoch_losses,
@@ -132,11 +141,8 @@ pub fn train_gpt(
         // Accumulate gradients over `batch` independent sequences.
         let mut finite = true;
         for s in 0..batch {
-            let (x, y) = corpus.sample_block(
-                block_size,
-                true,
-                seed.wrapping_add((it * batch + s) as u64),
-            );
+            let (x, y) =
+                corpus.sample_block(block_size, true, seed.wrapping_add((it * batch + s) as u64));
             let mut g = Graph::new(true);
             let (_, loss) = model.loss(&mut g, &x, &y, it as u64);
             finite &= g.value(loss).item().is_finite();
@@ -192,7 +198,12 @@ mod tests {
             &mut opt,
             &train,
             &test,
-            TrainConfig { epochs: 3, batch_size: 32, loss_scale: 256.0, seed: 0 },
+            TrainConfig {
+                epochs: 3,
+                batch_size: 32,
+                loss_scale: 256.0,
+                seed: 0,
+            },
         );
         assert_eq!(report.epoch_losses.len(), 3);
         assert!(
@@ -219,7 +230,12 @@ mod tests {
             &mut opt,
             &train,
             &test,
-            TrainConfig { epochs: 3, batch_size: 32, loss_scale: 256.0, seed: 1 },
+            TrainConfig {
+                epochs: 3,
+                batch_size: 32,
+                loss_scale: 256.0,
+                seed: 1,
+            },
         );
         assert!(
             report.test_accuracy > 40.0,
@@ -240,7 +256,13 @@ mod tests {
     fn gpt_validation_curve_is_produced() {
         let corpus = CharCorpus::synthetic(3000, 0);
         let model = NanoGpt::new(
-            NanoGptConfig { vocab: corpus.vocab_size(), layers: 1, heads: 2, embed: 16, block_size: 16 },
+            NanoGptConfig {
+                vocab: corpus.vocab_size(),
+                layers: 1,
+                heads: 2,
+                embed: 16,
+                block_size: 16,
+            },
             0.0,
             GemmPrecision::fp32(),
             1,

@@ -26,7 +26,11 @@ impl ImageDataset {
     /// Panics if the batch dimension and label count disagree.
     pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
         assert_eq!(images.shape()[0], labels.len(), "one label per image");
-        ImageDataset { images, labels, classes }
+        ImageDataset {
+            images,
+            labels,
+            classes,
+        }
     }
 
     /// All images as one `[n, c, h, w]` tensor.
@@ -89,11 +93,23 @@ struct Difficulty {
 }
 
 /// Easy tier — well-separated classes (MNIST-like).
-const EASY: Difficulty = Difficulty { signal: 1.0, noise: 0.25, shared: 0.0 };
+const EASY: Difficulty = Difficulty {
+    signal: 1.0,
+    noise: 0.25,
+    shared: 0.0,
+};
 /// Medium tier — textured classes under heavy noise (CIFAR-like).
-const MEDIUM: Difficulty = Difficulty { signal: 0.85, noise: 0.45, shared: 0.30 };
+const MEDIUM: Difficulty = Difficulty {
+    signal: 0.85,
+    noise: 0.45,
+    shared: 0.30,
+};
 /// Hard tier — fine-grained classes sharing a base (Imagewoof-like).
-const HARD: Difficulty = Difficulty { signal: 0.7, noise: 0.55, shared: 0.55 };
+const HARD: Difficulty = Difficulty {
+    signal: 0.7,
+    noise: 0.55,
+    shared: 0.55,
+};
 
 /// Generates the MNIST stand-in: `n` samples of 1×28×28, 10 classes.
 ///
@@ -138,6 +154,7 @@ pub fn synthetic_imagewoof32(n: usize, seed: u64) -> ImageDataset {
     generate(n, 3, 32, 32, 10, HARD, 0x1A6E_F00F, seed)
 }
 
+#[allow(clippy::too_many_arguments)] // internal synthetic-dataset helper
 fn generate(
     n: usize,
     c: usize,
@@ -188,10 +205,10 @@ fn prototype(cls: usize, c: usize, h: usize, w: usize, seed: u64) -> Vec<f32> {
     let waves: Vec<(f32, f32, f32, f32)> = (0..4)
         .map(|_| {
             (
-                rng.gen_range(1.0..4.0),                       // fy
-                rng.gen_range(1.0..4.0),                       // fx
-                rng.gen_range(0.0..std::f32::consts::TAU),     // phase
-                rng.gen_range(0.5..1.0),                       // amp
+                rng.gen_range(1.0..4.0),                   // fy
+                rng.gen_range(1.0..4.0),                   // fx
+                rng.gen_range(0.0..std::f32::consts::TAU), // phase
+                rng.gen_range(0.5..1.0),                   // amp
             )
         })
         .collect();
@@ -204,15 +221,13 @@ fn prototype(cls: usize, c: usize, h: usize, w: usize, seed: u64) -> Vec<f32> {
                 let fx = x as f32 / w as f32;
                 let mut v = 0.0;
                 for &(wy, wx, ph, amp) in &waves {
-                    v += amp
-                        * (std::f32::consts::TAU * (wy * fy + wx * fx) + ph + chf).sin();
+                    v += amp * (std::f32::consts::TAU * (wy * fy + wx * fx) + ph + chf).sin();
                 }
                 out.push(v);
             }
         }
     }
-    let rms = (out.iter().map(|&v| v as f64 * v as f64).sum::<f64>()
-        / out.len() as f64)
+    let rms = (out.iter().map(|&v| v as f64 * v as f64).sum::<f64>() / out.len() as f64)
         .sqrt()
         .max(1e-9) as f32;
     for v in &mut out {
@@ -289,8 +304,9 @@ mod tests {
             let mut counts = vec![0usize; d.classes()];
             for (i, &l) in d.labels().iter().enumerate() {
                 counts[l] += 1;
-                for j in 0..stride {
-                    means[l][j] += d.images().data()[i * stride + j] as f64;
+                let row = &d.images().data()[i * stride..(i + 1) * stride];
+                for (m, &v) in means[l].iter_mut().zip(row) {
+                    *m += v as f64;
                 }
             }
             for (m, &ct) in means.iter_mut().zip(&counts) {

@@ -36,7 +36,12 @@ impl<'a> Batches<'a> {
         assert!(batch_size > 0, "batch size must be non-zero");
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         order.shuffle(&mut StdRng::seed_from_u64(seed));
-        Batches { dataset, order, batch_size, cursor: 0 }
+        Batches {
+            dataset,
+            order,
+            batch_size,
+            cursor: 0,
+        }
     }
 
     /// Number of batches this epoch will yield.
@@ -67,7 +72,7 @@ mod tests {
     #[test]
     fn epoch_covers_every_sample_once() {
         let d = synthetic_mnist(23, 0);
-        let mut seen = vec![0u32; 23];
+        let mut seen = [0u32; 23];
         for (batch, labels) in Batches::new(&d, 5, 1) {
             assert_eq!(batch.shape()[0], labels.len());
             for _ in labels {

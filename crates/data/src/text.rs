@@ -41,7 +41,9 @@ impl CharCorpus {
 
     /// Builds a corpus from explicit text.
     pub fn from_text(text: &str) -> Self {
-        let mut vocab: Vec<char> = text.chars().collect::<std::collections::BTreeSet<_>>()
+        let mut vocab: Vec<char> = text
+            .chars()
+            .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();
         if vocab.is_empty() {
@@ -50,7 +52,11 @@ impl CharCorpus {
         let index = |ch: char| vocab.binary_search(&ch).expect("char in vocab");
         let tokens: Vec<usize> = text.chars().map(index).collect();
         let split = tokens.len() * 9 / 10;
-        CharCorpus { tokens, vocab, split }
+        CharCorpus {
+            tokens,
+            vocab,
+            split,
+        }
     }
 
     /// Number of distinct characters.
@@ -81,10 +87,22 @@ impl CharCorpus {
     ///
     /// Panics if the selected split is shorter than
     /// `block_size + 1`.
-    pub fn sample_block(&self, block_size: usize, train: bool, seed: u64) -> (Vec<usize>, Vec<usize>) {
-        let (lo, hi) = if train { (0, self.split) } else { (self.split, self.tokens.len()) };
+    pub fn sample_block(
+        &self,
+        block_size: usize,
+        train: bool,
+        seed: u64,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let (lo, hi) = if train {
+            (0, self.split)
+        } else {
+            (self.split, self.tokens.len())
+        };
         let span = hi - lo;
-        assert!(span > block_size, "split too small for block size {block_size}");
+        assert!(
+            span > block_size,
+            "split too small for block size {block_size}"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let start = lo + rng.gen_range(0..span - block_size);
         (
@@ -97,8 +115,9 @@ impl CharCorpus {
 /// Generates pseudo-prose with word structure and punctuation.
 fn generate_text(len: usize, seed: u64) -> String {
     const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
-    const CONSONANTS: &[char] =
-        &['t', 'h', 's', 'r', 'n', 'l', 'd', 'm', 'w', 'c', 'f', 'g', 'b', 'p', 'k', 'v'];
+    const CONSONANTS: &[char] = &[
+        't', 'h', 's', 'r', 'n', 'l', 'd', 'm', 'w', 'c', 'f', 'g', 'b', 'p', 'k', 'v',
+    ];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = String::with_capacity(len);
     let mut word_len = 0usize;
@@ -111,7 +130,11 @@ fn generate_text(len: usize, seed: u64) -> String {
                 out.push(if rng.gen_bool(0.7) { '.' } else { ',' });
                 sentence_len = 0;
             }
-            out.push(if sentence_len == 0 && rng.gen_bool(0.2) { '\n' } else { ' ' });
+            out.push(if sentence_len == 0 && rng.gen_bool(0.2) {
+                '\n'
+            } else {
+                ' '
+            });
             word_len = 0;
             want_vowel = rng.gen_bool(0.4);
             continue;
@@ -121,7 +144,11 @@ fn generate_text(len: usize, seed: u64) -> String {
             let r: f64 = rng.gen::<f64>();
             set[((r * r) * set.len() as f64) as usize % set.len()]
         };
-        out.push(if want_vowel { pick(VOWELS, &mut rng) } else { pick(CONSONANTS, &mut rng) });
+        out.push(if want_vowel {
+            pick(VOWELS, &mut rng)
+        } else {
+            pick(CONSONANTS, &mut rng)
+        });
         want_vowel = !want_vowel || rng.gen_bool(0.2);
         word_len += 1;
     }
@@ -143,7 +170,11 @@ mod tests {
     #[test]
     fn vocab_is_compact() {
         let c = CharCorpus::synthetic(20_000, 0);
-        assert!(c.vocab_size() >= 15 && c.vocab_size() <= 40, "{}", c.vocab_size());
+        assert!(
+            c.vocab_size() >= 15 && c.vocab_size() <= 40,
+            "{}",
+            c.vocab_size()
+        );
         assert_eq!(c.len(), 20_000);
     }
 
@@ -172,9 +203,11 @@ mod tests {
         let spaces = text.chars().filter(|&c| c == ' ').count();
         assert!(spaces > 300, "{spaces} spaces — no word breaks?");
         let words: Vec<&str> = text.split_whitespace().collect();
-        let mean_len: f64 =
-            words.iter().map(|w| w.len() as f64).sum::<f64>() / words.len() as f64;
-        assert!((2.0..8.0).contains(&mean_len), "mean word length {mean_len}");
+        let mean_len: f64 = words.iter().map(|w| w.len() as f64).sum::<f64>() / words.len() as f64;
+        assert!(
+            (2.0..8.0).contains(&mean_len),
+            "mean word length {mean_len}"
+        );
     }
 
     #[test]
@@ -188,7 +221,11 @@ mod tests {
             counts[w[0] * v + w[1]] += 1;
         }
         let nonzero = counts.iter().filter(|&&x| x > 0).count();
-        assert!(nonzero < v * v * 3 / 4, "bigram table nearly full: {nonzero}/{}", v * v);
+        assert!(
+            nonzero < v * v * 3 / 4,
+            "bigram table nearly full: {nonzero}/{}",
+            v * v
+        );
     }
 
     #[test]

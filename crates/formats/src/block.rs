@@ -50,7 +50,10 @@ impl BlockFpFormat {
         if block_size == 0 {
             return Err(FormatError::BlockSize(block_size));
         }
-        Ok(BlockFpFormat { man_bits, block_size })
+        Ok(BlockFpFormat {
+            man_bits,
+            block_size,
+        })
     }
 
     /// Mantissa width per element, in bits.

@@ -47,7 +47,10 @@ impl fmt::Display for FormatError {
                 write!(f, "block size {s} must be non-zero")
             }
             FormatError::RandomBits(r) => {
-                write!(f, "stochastic rounding with {r} random bits unsupported (max 32)")
+                write!(
+                    f,
+                    "stochastic rounding with {r} random bits unsupported (max 32)"
+                )
             }
         }
     }

@@ -49,7 +49,10 @@ impl FixedFormat {
         if int_bits + frac_bits > 64 {
             return Err(FormatError::TotalWidth(int_bits + frac_bits));
         }
-        Ok(FixedFormat { int_bits, frac_bits })
+        Ok(FixedFormat {
+            int_bits,
+            frac_bits,
+        })
     }
 
     /// `FXP4.4` — the paper's fixed-point multiplier format.
@@ -261,8 +264,7 @@ mod tests {
         let sr = Rounding::Stochastic { random_bits: 16 };
         let x = 0.1; // between 0.0625 and 0.125
         let n = 40_000u64;
-        let mean: f64 =
-            (0..n).map(|i| f.quantize(x, sr, &rng(), i)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|i| f.quantize(x, sr, &rng(), i)).sum::<f64>() / n as f64;
         assert!((mean - x).abs() < 0.002, "mean {mean}");
     }
 

@@ -51,7 +51,7 @@ impl FloatFormat {
     /// `2..=11` or [`FormatError::MantissaWidth`] if `man_bits` is not
     /// in `0..=52`.
     pub fn new(exp_bits: u32, man_bits: u32) -> Result<Self, FormatError> {
-        if exp_bits < 2 || exp_bits > 11 {
+        if !(2..=11).contains(&exp_bits) {
             return Err(FormatError::ExponentWidth(exp_bits));
         }
         if man_bits > 52 {
@@ -205,8 +205,15 @@ impl FloatFormat {
         let ulp_exp = e_eff - self.man_bits as i32;
 
         // Scale so the target ULP is 1.0. Powers of two are exact;
-        // exp2i constructs them directly from the exponent bits.
-        let scaled = x * exp2i(-ulp_exp);
+        // exp2i constructs them directly from the exponent bits. Wide
+        // formats (e.g. E11M52) can need a scale factor above 2^1023;
+        // split it into two exact power-of-two multiplies (the operand
+        // is tiny there — e_eff < -971 — so no intermediate overflow).
+        let scaled = if ulp_exp < -1023 {
+            (x * exp2i(512)) * exp2i(-ulp_exp - 512)
+        } else {
+            x * exp2i(-ulp_exp)
+        };
         let rounded = round_scaled(scaled, mode, rng, index);
         let y = rounded * exp2i(ulp_exp);
 
@@ -289,7 +296,11 @@ impl FloatFormat {
         if x.is_nan() {
             // Canonical NaN: all-ones exponent, MSB of mantissa set.
             let exp = (1u64 << self.exp_bits) - 1;
-            let man = if self.man_bits > 0 { 1u64 << (self.man_bits - 1) } else { 0 };
+            let man = if self.man_bits > 0 {
+                1u64 << (self.man_bits - 1)
+            } else {
+                0
+            };
             return (sign << (self.exp_bits + self.man_bits)) | (exp << self.man_bits) | man;
         }
         if x == 0.0 {
@@ -315,7 +326,11 @@ impl FloatFormat {
 
     /// Decodes a raw bit pattern produced by [`encode`](Self::encode).
     pub fn decode(&self, bits: u64) -> f64 {
-        let man_mask = if self.man_bits == 0 { 0 } else { (1u64 << self.man_bits) - 1 };
+        let man_mask = if self.man_bits == 0 {
+            0
+        } else {
+            (1u64 << self.man_bits) - 1
+        };
         let man = bits & man_mask;
         let exp = (bits >> self.man_bits) & ((1u64 << self.exp_bits) - 1);
         let sign = (bits >> (self.man_bits + self.exp_bits)) & 1;
@@ -343,12 +358,21 @@ impl fmt::Display for FloatFormat {
     }
 }
 
-/// Exact power of two `2^e` for exponents in the f64 normal range,
-/// built directly from the exponent bits (much cheaper than `powi`).
+/// Exact power of two `2^e` for any representable `f64` magnitude
+/// (`-1074..=1023`), built directly from the bit pattern (much cheaper
+/// than `powi`). Exponents below the normal range produce the exact
+/// subnormal `2^e`.
 #[inline]
 pub(crate) fn exp2i(e: i32) -> f64 {
-    debug_assert!((-1022..=1023).contains(&e), "exp2i exponent {e} out of range");
-    f64::from_bits(((e + 1023) as u64) << 52)
+    debug_assert!(
+        (-1074..=1023).contains(&e),
+        "exp2i exponent {e} out of range"
+    );
+    if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (e + 1074))
+    }
 }
 
 /// Unbiased binary exponent of a finite non-zero `f64`
@@ -422,7 +446,18 @@ mod tests {
     #[test]
     fn representable_values_fixed_points() {
         let f = FloatFormat::e5m2();
-        for &v in &[0.0, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, -3.0, 57344.0, 2f64.powi(-16)] {
+        for &v in &[
+            0.0,
+            1.0,
+            1.25,
+            1.5,
+            1.75,
+            2.0,
+            2.5,
+            -3.0,
+            57344.0,
+            2f64.powi(-16),
+        ] {
             assert_eq!(q(f, v, Rounding::Nearest), v, "value {v}");
             assert!(f.is_representable(v), "value {v}");
         }
@@ -471,7 +506,10 @@ mod tests {
     fn overflow_to_infinity_when_configured() {
         let f = FloatFormat::e5m2().with_infinities();
         assert_eq!(q(f, 1.0e9, Rounding::Nearest), f64::INFINITY);
-        assert_eq!(q(f, f64::NEG_INFINITY, Rounding::Nearest), f64::NEG_INFINITY);
+        assert_eq!(
+            q(f, f64::NEG_INFINITY, Rounding::Nearest),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]
@@ -533,15 +571,22 @@ mod tests {
         let sr = Rounding::Stochastic { random_bits: 16 };
         let x = 1.1; // between 1.0 and 1.25
         let n = 40_000u64;
-        let mean: f64 =
-            (0..n).map(|i| f.quantize(x, sr, &rng(), i)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|i| f.quantize(x, sr, &rng(), i)).sum::<f64>() / n as f64;
         assert!((mean - x).abs() < 0.01, "mean {mean}");
     }
 
     #[test]
     fn encode_decode_roundtrip() {
         let f = FloatFormat::e5m2();
-        for &v in &[0.0, 1.0, -1.75, 2.5, 57344.0, 2f64.powi(-16), -2f64.powi(-14)] {
+        for &v in &[
+            0.0,
+            1.0,
+            -1.75,
+            2.5,
+            57344.0,
+            2f64.powi(-16),
+            -2f64.powi(-14),
+        ] {
             let bits = f.encode(v);
             assert!(bits < (1u64 << f.bit_width()));
             assert_eq!(f.decode(bits), v, "value {v}");

@@ -49,6 +49,7 @@
 
 pub mod block;
 pub mod error;
+pub mod fast;
 pub mod fixed;
 pub mod float;
 pub mod quant;
@@ -57,6 +58,7 @@ pub mod sr;
 
 pub use block::BlockFpFormat;
 pub use error::FormatError;
+pub use fast::{FloatFastF32, FloatFastF64};
 pub use fixed::FixedFormat;
 pub use float::FloatFormat;
 pub use quant::{NumberFormat, Quantizer};

@@ -6,6 +6,7 @@
 //! that the GEMM kernels in `mpt-arith` consume.
 
 use crate::block::BlockFpFormat;
+use crate::fast::FloatFastF32;
 use crate::fixed::FixedFormat;
 use crate::float::FloatFormat;
 use crate::rounding::Rounding;
@@ -54,9 +55,7 @@ impl NumberFormat {
         match self {
             NumberFormat::Float(f) => f.quantize(x, mode, rng, index),
             NumberFormat::Fixed(f) => f.quantize(x, mode, rng, index),
-            NumberFormat::BlockFp(f) => {
-                f.quantize_block(&[x], mode, rng, index)[0]
-            }
+            NumberFormat::BlockFp(f) => f.quantize_block(&[x], mode, rng, index)[0],
         }
     }
 
@@ -203,6 +202,51 @@ impl Quantizer {
         }
         for (i, v) in values.iter_mut().enumerate() {
             *v = self.quantize(*v as f64, base_index + i as u64) as f32;
+        }
+    }
+
+    /// Quantizes a slice of `f32` in place with **per-element**
+    /// semantics: element `i` quantizes independently at rounding
+    /// event `base_index + i`, exactly like calling
+    /// [`quantize_f32`](Quantizer::quantize_f32) per element (block
+    /// floating point degenerates to blocks of one, matching the
+    /// scalar API).
+    ///
+    /// Identity quantizers ([`is_identity`](Quantizer::is_identity))
+    /// pass the slice through untouched — the same passthrough
+    /// convention [`quantize_slice`](Quantizer::quantize_slice) and
+    /// the GEMM kernels use, which keeps the FP32 baseline equal to a
+    /// plain matmul even for operands containing infinities or `f32`
+    /// subnormals (the scalar `quantize_f32` would saturate/flush
+    /// those).
+    ///
+    /// Float formats dispatch once to a monomorphized
+    /// [`FloatFastF32`] kernel — the bulk operand-quantization fast
+    /// path the GEMM kernels use; other families fall back to the
+    /// scalar oracle. Bit-identical to the scalar path in all cases.
+    pub fn quantize_slice_f32(&self, values: &mut [f32], base_index: u64) {
+        if self.is_identity() {
+            return;
+        }
+        if let NumberFormat::Float(f) = self.format {
+            if let Some(fast) = FloatFastF32::new(f, self.rounding, self.rng) {
+                fast.quantize_slice_dyn(values, base_index);
+                return;
+            }
+        }
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.quantize_f32(*v, base_index.wrapping_add(i as u64));
+        }
+    }
+
+    /// Builds the monomorphized `f64`-carrier fast kernel for this
+    /// quantizer, if one exists (float format, rounding other than
+    /// `NR`). GEMM kernels use it to round MAC sums without the
+    /// per-element format/mode dispatch.
+    pub fn fast_f64(&self) -> Option<crate::fast::FloatFastF64> {
+        match self.format {
+            NumberFormat::Float(f) => crate::fast::FloatFastF64::new(f, self.rounding, self.rng),
+            _ => None,
         }
     }
 }

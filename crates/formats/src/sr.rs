@@ -64,7 +64,7 @@ impl SrRng {
     /// i.e. `bits(index, nbits) / 2^nbits`.
     #[inline]
     pub fn unit(&self, index: u64, nbits: u32) -> f64 {
-        debug_assert!(nbits >= 1 && nbits <= 53);
+        debug_assert!((1..=53).contains(&nbits));
         self.bits(index, nbits) as f64 / (1u64 << nbits) as f64
     }
 }
@@ -133,7 +133,9 @@ mod tests {
     fn seeds_decorrelate() {
         let a = SrRng::new(1);
         let b = SrRng::new(2);
-        let same = (0..1000u64).filter(|&i| a.bits(i, 16) == b.bits(i, 16)).count();
+        let same = (0..1000u64)
+            .filter(|&i| a.bits(i, 16) == b.bits(i, 16))
+            .count();
         assert!(same < 10, "{same} collisions in 1000 draws");
     }
 }

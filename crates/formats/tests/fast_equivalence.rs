@@ -1,0 +1,302 @@
+//! Cross-path bit-equality: the monomorphized fast kernels
+//! ([`FloatFastF32`]/[`FloatFastF64`]) and the slice entry point
+//! ([`Quantizer::quantize_slice_f32`]) must agree **bit for bit** with
+//! the scalar reference quantizer for every format, rounding mode, and
+//! input — including negative zero, subnormals, NaN payloads, and
+//! values straddling the saturation boundary.
+
+use mpt_formats::{
+    FixedFormat, FloatFastF32, FloatFastF64, FloatFormat, Quantizer, Rounding, SrRng,
+};
+use proptest::prelude::*;
+
+/// Arbitrary `EeMm` with subnormal/saturation handling toggled — the
+/// f32-carrier space (`man <= 23` keeps quantization non-trivial, but
+/// wider mantissas exercise the identity fast path too).
+fn float_formats_f32() -> impl Strategy<Value = FloatFormat> {
+    (2u32..=8, 0u32..=30, any::<bool>(), any::<bool>()).prop_map(|(e, m, sub, sat)| {
+        let mut f = FloatFormat::new(e, m).expect("valid");
+        if !sub {
+            f = f.without_subnormals();
+        }
+        if !sat {
+            f = f.with_infinities();
+        }
+        f
+    })
+}
+
+/// Full format space for the f64-carrier kernel, up to `E11M52`.
+fn float_formats_f64() -> impl Strategy<Value = FloatFormat> {
+    (2u32..=11, 0u32..=52, any::<bool>(), any::<bool>()).prop_map(|(e, m, sub, sat)| {
+        let mut f = FloatFormat::new(e, m).expect("valid");
+        if !sub {
+            f = f.without_subnormals();
+        }
+        if !sat {
+            f = f.with_infinities();
+        }
+        f
+    })
+}
+
+fn all_modes() -> impl Strategy<Value = Rounding> {
+    prop_oneof![
+        Just(Rounding::Nearest),
+        Just(Rounding::TowardZero),
+        Just(Rounding::ToOdd),
+        Just(Rounding::NoRound),
+        (0u32..=24).prop_map(|b| Rounding::Stochastic { random_bits: b }),
+    ]
+}
+
+/// f32 bit patterns weighted toward the interesting corners: raw
+/// patterns (hits NaN payloads, infinities, subnormals), ordinary
+/// magnitudes, tiny values below every format's normal range, and
+/// exact specials.
+fn f32_values() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        any::<u32>().prop_map(f32::from_bits),
+        -1.0e6f32..1.0e6,
+        (0u32..1 << 24).prop_map(f32::from_bits), // carrier subnormals
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(f32::NAN),
+        Just(f32::MIN_POSITIVE),
+    ]
+}
+
+fn f64_values() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<u64>().prop_map(f64::from_bits),
+        -1.0e9f64..1.0e9,
+        -2.0f64..2.0,
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+    ]
+}
+
+/// Bitwise equality that treats any-NaN == any-NaN the same way the
+/// kernels do: compare raw bits (NaN payloads must match too, since
+/// both paths pass the input through untouched).
+fn assert_bits_f32(fast: f32, reference: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        fast.to_bits(),
+        reference.to_bits(),
+        "fast {} ({:#010x}) != reference {} ({:#010x})",
+        fast,
+        fast.to_bits(),
+        reference,
+        reference.to_bits()
+    );
+    Ok(())
+}
+
+fn assert_bits_f64(fast: f64, reference: f64) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        fast.to_bits(),
+        reference.to_bits(),
+        "fast {} ({:#018x}) != reference {} ({:#018x})",
+        fast,
+        fast.to_bits(),
+        reference,
+        reference.to_bits()
+    );
+    Ok(())
+}
+
+proptest! {
+    /// The f32 fast kernel agrees with the scalar reference on every
+    /// bit pattern, format, mode, seed and event index.
+    #[test]
+    fn fast_f32_matches_reference(
+        fmt in float_formats_f32(),
+        mode in all_modes(),
+        x in f32_values(),
+        seed in 0u64..1 << 20,
+        idx in any::<u64>(),
+    ) {
+        let rng = SrRng::new(seed);
+        match FloatFastF32::new(fmt, mode, rng) {
+            Some(fast) => {
+                let reference = fmt.quantize(x as f64, mode, &rng, idx) as f32;
+                assert_bits_f32(fast.quantize_dyn(x, idx), reference)?;
+            }
+            // Only NR declines a kernel (quantization is the identity).
+            None => prop_assert_eq!(mode, Rounding::NoRound),
+        }
+    }
+
+    /// Same for the f64 kernel over the full format space (up to
+    /// E11M52), which the fused GEMM accumulator uses.
+    #[test]
+    fn fast_f64_matches_reference(
+        fmt in float_formats_f64(),
+        mode in all_modes(),
+        x in f64_values(),
+        seed in 0u64..1 << 20,
+        idx in any::<u64>(),
+    ) {
+        let rng = SrRng::new(seed);
+        match FloatFastF64::new(fmt, mode, rng) {
+            Some(fast) => {
+                let reference = fmt.quantize(x, mode, &rng, idx);
+                assert_bits_f64(fast.quantize_dyn(x, idx), reference)?;
+            }
+            None => prop_assert_eq!(mode, Rounding::NoRound),
+        }
+    }
+
+    /// The fast kernel saturates at exactly the same threshold as the
+    /// reference: sweep a dense neighborhood of `max_value`.
+    #[test]
+    fn fast_f32_saturation_boundary(
+        fmt in float_formats_f32(),
+        mode in all_modes(),
+        offset in -64i64..=64,
+        negative in any::<bool>(),
+        idx in 0u64..1024,
+    ) {
+        let rng = SrRng::new(9);
+        let Some(fast) = FloatFastF32::new(fmt, mode, rng) else {
+            return Ok(());
+        };
+        let boundary = fmt.max_value() as f32;
+        let stepped = f32::from_bits(
+            (boundary.to_bits() as i64 + offset).max(0) as u32
+        );
+        let x = if negative { -stepped } else { stepped };
+        let reference = fmt.quantize(x as f64, mode, &rng, idx) as f32;
+        assert_bits_f32(fast.quantize_dyn(x, idx), reference)?;
+    }
+
+    /// `quantize_slice_f32` (the GEMM input path) equals element-wise
+    /// `quantize_f32` with consecutive indices — for float formats
+    /// (fast path) at every rounding mode. Identity quantizers are
+    /// passthrough by contract (the FP32-baseline convention shared
+    /// with `quantize_slice` and the GEMM kernels), so they are
+    /// asserted as no-ops instead.
+    #[test]
+    fn slice_matches_scalar_float(
+        fmt in float_formats_f32(),
+        mode in all_modes(),
+        values in proptest::collection::vec(f32_values(), 0..40),
+        seed in 0u64..1 << 16,
+        base in 0u64..1 << 40,
+    ) {
+        let q = Quantizer::float(fmt, mode).with_seed(seed);
+        let mut fast = values.clone();
+        q.quantize_slice_f32(&mut fast, base);
+        for (i, (&f, &v)) in fast.iter().zip(values.iter()).enumerate() {
+            if q.is_identity() {
+                assert_bits_f32(f, v)?;
+            } else {
+                let reference = q.quantize_f32(v, base.wrapping_add(i as u64));
+                assert_bits_f32(f, reference)?;
+            }
+        }
+    }
+
+    /// The slice path's scalar fallback (fixed point) also matches.
+    #[test]
+    fn slice_matches_scalar_fixed(
+        ibits in 1u32..=16,
+        fbits in 0u32..=16,
+        mode in all_modes(),
+        values in proptest::collection::vec(-300.0f32..300.0, 0..24),
+        seed in 0u64..1 << 16,
+        base in 0u64..1 << 40,
+    ) {
+        let fmt = FixedFormat::new(ibits, fbits).expect("valid");
+        let q = Quantizer::fixed(fmt, mode).with_seed(seed);
+        let mut fast = values.clone();
+        q.quantize_slice_f32(&mut fast, base);
+        for (i, (&f, &v)) in fast.iter().zip(values.iter()).enumerate() {
+            let reference = q.quantize_f32(v, base.wrapping_add(i as u64));
+            assert_bits_f32(f, reference)?;
+        }
+    }
+
+    /// Negative zero survives both paths identically (sign preserved).
+    #[test]
+    fn negative_zero_preserved(
+        fmt in float_formats_f32(),
+        mode in all_modes(),
+        idx in any::<u64>(),
+    ) {
+        let rng = SrRng::new(3);
+        let Some(fast) = FloatFastF32::new(fmt, mode, rng) else {
+            return Ok(());
+        };
+        assert_bits_f32(fast.quantize_dyn(-0.0, idx), -0.0)?;
+        assert_bits_f32(fast.quantize_dyn(0.0, idx), 0.0)?;
+    }
+}
+
+/// Dense deterministic sweep: every `(exp, man, subnormals, saturate,
+/// mode)` combination in a representative grid, over thousands of bit
+/// patterns including carrier subnormals and tiny near-flush values.
+/// This is the sweep that caught the `M0` kept-digit parity bug (the
+/// implicit leading 1 makes the truncated significand always odd,
+/// which `abs >> ts` cannot see).
+#[test]
+fn dense_sweep_slice_vs_scalar() {
+    let mut failures = 0;
+    for e in 2u32..=8 {
+        for m in [0u32, 1, 2, 3, 5, 10, 23, 24, 30] {
+            for (sub, sat) in [(true, true), (true, false), (false, true), (false, false)] {
+                let mut fmt = FloatFormat::new(e, m).unwrap();
+                if !sub {
+                    fmt = fmt.without_subnormals();
+                }
+                if !sat {
+                    fmt = fmt.with_infinities();
+                }
+                for rounding in [
+                    Rounding::Nearest,
+                    Rounding::TowardZero,
+                    Rounding::ToOdd,
+                    Rounding::NoRound,
+                    Rounding::Stochastic { random_bits: 0 },
+                    Rounding::Stochastic { random_bits: 3 },
+                    Rounding::Stochastic { random_bits: 10 },
+                    Rounding::Stochastic { random_bits: 24 },
+                ] {
+                    let q = Quantizer::float(fmt, rounding).with_seed(17);
+                    if q.is_identity() {
+                        continue; // passthrough by contract
+                    }
+                    let values: Vec<f32> = (0..4000u32)
+                        .map(|i| f32::from_bits(i.wrapping_mul(0x9E37_79B9)))
+                        .chain((0..200).map(|i| (i as f32 - 100.0) * 1.7e-7))
+                        .collect();
+                    let mut fast = values.clone();
+                    q.quantize_slice_f32(&mut fast, 5);
+                    for (i, (&f, &v)) in fast.iter().zip(values.iter()).enumerate() {
+                        let r = q.quantize_f32(v, 5 + i as u64);
+                        if f.to_bits() != r.to_bits() && !(f.is_nan() && r.is_nan()) {
+                            failures += 1;
+                            if failures <= 10 {
+                                println!(
+                                    "MISMATCH fmt=E{e}M{m} sub={sub} sat={sat} \
+                                     mode={rounding:?} x={v:e} ({:#010x}) fast={f:e} \
+                                     ({:#010x}) ref={r:e} ({:#010x}) idx={}",
+                                    v.to_bits(),
+                                    f.to_bits(),
+                                    r.to_bits(),
+                                    5 + i as u64,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(failures, 0, "{failures} slice/scalar mismatches");
+}

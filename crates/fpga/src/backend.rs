@@ -39,7 +39,11 @@ pub struct FpgaBackend {
 impl FpgaBackend {
     /// Wraps an accelerator.
     pub fn new(accelerator: Accelerator) -> Self {
-        FpgaBackend { accelerator, elapsed_s: RefCell::new(0.0), gemms: Cell::new(0) }
+        FpgaBackend {
+            accelerator,
+            elapsed_s: RefCell::new(0.0),
+            gemms: Cell::new(0),
+        }
     }
 
     /// The wrapped accelerator.
@@ -98,7 +102,10 @@ mod tests {
             fpga.gemm(&a, &b, &cfg).unwrap(),
             cpu.gemm(&a, &b, &cfg).unwrap()
         );
-        assert_eq!(fpga.gemm(&a, &b, &cfg).unwrap(), qgemm(&a, &b, &cfg).unwrap());
+        assert_eq!(
+            fpga.gemm(&a, &b, &cfg).unwrap(),
+            qgemm(&a, &b, &cfg).unwrap()
+        );
     }
 
     #[test]

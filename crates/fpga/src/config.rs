@@ -45,7 +45,10 @@ impl fmt::Display for ConfigError {
                 "MAC count {m} invalid for {n} PEs (must be a power of two with m == n or 2m == n)"
             ),
             ConfigError::CoreCount(c) => {
-                write!(f, "core count {c} outside 1..={MAX_CORES} (32 HBM ports / 3 per core)")
+                write!(
+                    f,
+                    "core count {c} outside 1..={MAX_CORES} (32 HBM ports / 3 per core)"
+                )
             }
         }
     }
@@ -159,7 +162,20 @@ mod tests {
 
     #[test]
     fn accepts_every_table_iii_point() {
-        for (n, m) in [(1, 1), (2, 1), (2, 2), (4, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16), (32, 16), (32, 32), (64, 32)] {
+        for (n, m) in [
+            (1, 1),
+            (2, 1),
+            (2, 2),
+            (4, 2),
+            (4, 4),
+            (8, 4),
+            (8, 8),
+            (16, 8),
+            (16, 16),
+            (32, 16),
+            (32, 32),
+            (64, 32),
+        ] {
             assert!(SaConfig::new(n, m, 1).is_ok(), "<{n},{m},1> rejected");
         }
     }
@@ -199,7 +215,13 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        assert!(SaConfig::new(3, 1, 1).unwrap_err().to_string().contains("power of two"));
-        assert!(SaConfig::new(8, 8, 99).unwrap_err().to_string().contains("HBM"));
+        assert!(SaConfig::new(3, 1, 1)
+            .unwrap_err()
+            .to_string()
+            .contains("power of two"));
+        assert!(SaConfig::new(8, 8, 99)
+            .unwrap_err()
+            .to_string()
+            .contains("HBM"));
     }
 }

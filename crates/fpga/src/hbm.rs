@@ -63,15 +63,16 @@ impl HbmImage {
                 let code = encode(format, t.data()[r * cols + c]);
                 let slot = c / per_word;
                 let off_bits = (c % per_word) * bits;
-                write_bits(
-                    &mut words[r * words_per_row + slot],
-                    off_bits,
-                    bits,
-                    code,
-                );
+                write_bits(&mut words[r * words_per_row + slot], off_bits, bits, code);
             }
         }
-        Ok(HbmImage { rows, cols, format, words, words_per_row })
+        Ok(HbmImage {
+            rows,
+            cols,
+            format,
+            words,
+            words_per_row,
+        })
     }
 
     /// Number of 512-bit words per matrix row.
@@ -171,7 +172,11 @@ mod tests {
     #[test]
     fn fp8_packs_64_per_word() {
         let fmt = NumberFormat::from(FloatFormat::e5m2());
-        let t = quantized(3, 64, Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest));
+        let t = quantized(
+            3,
+            64,
+            Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest),
+        );
         let img = HbmImage::pack(&t, fmt).unwrap();
         assert_eq!(img.words_per_row(), 1);
         assert_eq!(img.byte_size(), 3 * 64);
@@ -182,7 +187,11 @@ mod tests {
     fn fp12_packs_42_per_word() {
         // 512 / 12 = 42 values per word (paper's T_mem for 12-bit).
         let fmt = NumberFormat::from(FloatFormat::e6m5());
-        let t = quantized(2, 84, Quantizer::float(FloatFormat::e6m5(), Rounding::Nearest));
+        let t = quantized(
+            2,
+            84,
+            Quantizer::float(FloatFormat::e6m5(), Rounding::Nearest),
+        );
         let img = HbmImage::pack(&t, fmt).unwrap();
         assert_eq!(img.words_per_row(), 2);
         assert_eq!(img.unpack().unwrap(), t);
@@ -191,7 +200,11 @@ mod tests {
     #[test]
     fn fixed_point_roundtrip() {
         let fmt = NumberFormat::from(FixedFormat::fxp8_8());
-        let t = quantized(4, 33, Quantizer::fixed(FixedFormat::fxp8_8(), Rounding::Nearest));
+        let t = quantized(
+            4,
+            33,
+            Quantizer::fixed(FixedFormat::fxp8_8(), Rounding::Nearest),
+        );
         let img = HbmImage::pack(&t, fmt).unwrap();
         assert_eq!(img.words_per_row(), 2); // 32 per word -> 33 needs 2
         assert_eq!(img.unpack().unwrap(), t);
@@ -203,7 +216,11 @@ mod tests {
         // round-trips — padding is a performance choice, not a
         // correctness one.
         let fmt = NumberFormat::from(FloatFormat::e5m2());
-        let t = quantized(5, 7, Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest));
+        let t = quantized(
+            5,
+            7,
+            Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest),
+        );
         let img = HbmImage::pack(&t, fmt).unwrap();
         assert_eq!(img.unpack().unwrap(), t);
     }

@@ -48,7 +48,11 @@ impl GemmMapping {
 }
 
 fn effective_shape(shape: GemmShape, transposed: bool, partition: Partition) -> GemmShape {
-    let s = if transposed { shape.transposed() } else { shape };
+    let s = if transposed {
+        shape.transposed()
+    } else {
+        shape
+    };
     match partition {
         Partition::A => s,
         // Partitioning B: the model always splits the row operand, so
@@ -73,7 +77,13 @@ pub fn best_mapping(
             let eff = effective_shape(shape, transposed, partition);
             let padded = PaddedGemm::new(eff, cfg, in_bits);
             let latency = estimate_padded(&padded, cfg, freq_mhz, in_bits, out_bits);
-            let candidate = GemmMapping { shape, transposed, partition, padded, latency };
+            let candidate = GemmMapping {
+                shape,
+                transposed,
+                partition,
+                padded,
+                latency,
+            };
             match &best {
                 Some(b) if b.latency.total_s <= latency.total_s => {}
                 _ => best = Some(candidate),
@@ -95,8 +105,14 @@ mod tests {
     fn effective_shape_combinations() {
         let s = GemmShape::new(10, 20, 30);
         assert_eq!(effective_shape(s, false, Partition::A), s);
-        assert_eq!(effective_shape(s, true, Partition::A), GemmShape::new(30, 20, 10));
-        assert_eq!(effective_shape(s, false, Partition::B), GemmShape::new(30, 20, 10));
+        assert_eq!(
+            effective_shape(s, true, Partition::A),
+            GemmShape::new(30, 20, 10)
+        );
+        assert_eq!(
+            effective_shape(s, false, Partition::B),
+            GemmShape::new(30, 20, 10)
+        );
         assert_eq!(effective_shape(s, true, Partition::B), s);
     }
 
@@ -153,7 +169,11 @@ mod tests {
         let naive = PaddedGemm::new(shape, c, 8);
         let naive_lat = estimate_padded(&naive, c, 180.0, 8, 8);
         let best = best_mapping(shape, c, 180.0, 8, 8);
-        assert!(best.latency.total_s < naive_lat.total_s,
-            "optimized {} vs naive {}", best.latency.total_s, naive_lat.total_s);
+        assert!(
+            best.latency.total_s < naive_lat.total_s,
+            "optimized {} vs naive {}",
+            best.latency.total_s,
+            naive_lat.total_s
+        );
     }
 }

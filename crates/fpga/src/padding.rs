@@ -51,7 +51,14 @@ impl PaddedGemm {
         // Stage 3: compute tiles.
         let n_comp = pad_up(n_core, cfg.t_pe());
         let m_comp = pad_up(m_mem, cfg.t_mac());
-        PaddedGemm { shape, n_core, k_mem, m_mem, n_comp, m_comp }
+        PaddedGemm {
+            shape,
+            n_core,
+            k_mem,
+            m_mem,
+            n_comp,
+            m_comp,
+        }
     }
 
     /// MAC operations actually executed per core (including padding

@@ -65,14 +65,17 @@ pub fn estimate_padded(
     let mac_s = padded.core_macs() as f64 / (cfg.macs_per_core() as f64 * f);
     let write_s = (padded.n_comp * padded.m_comp) as f64 / (cfg.m() as f64 * f);
     // PCIe bytes: inputs at the operand width, result at out_bits.
-    let in_bytes = (cfg.c() * padded.n_core * padded.k_mem + padded.k_mem * padded.m_mem)
-        as f64
+    let in_bytes = (cfg.c() * padded.n_core * padded.k_mem + padded.k_mem * padded.m_mem) as f64
         * in_bits as f64
         / 8.0;
-    let out_bytes =
-        (cfg.c() * padded.n_core * padded.m_mem) as f64 * out_bits as f64 / 8.0;
+    let out_bytes = (cfg.c() * padded.n_core * padded.m_mem) as f64 * out_bits as f64 / 8.0;
     let data_s = (in_bytes + out_bytes) / (PCIE_GBPS * 1.0e9);
-    Latency { mac_s, write_s, data_s, total_s: mac_s + write_s + data_s }
+    Latency {
+        mac_s,
+        write_s,
+        data_s,
+        total_s: mac_s + write_s + data_s,
+    }
 }
 
 /// Estimates the total latency of a training iteration: the sum over
@@ -122,7 +125,12 @@ mod tests {
         let shape = GemmShape::new(1024, 512, 512);
         let l1 = estimate_gemm(shape, cfg(8, 8, 1), 200.0, 8, 8);
         let l4 = estimate_gemm(shape, cfg(8, 8, 4), 200.0, 8, 8);
-        assert!(l4.core_s() < l1.core_s() / 3.0, "{} vs {}", l4.core_s(), l1.core_s());
+        assert!(
+            l4.core_s() < l1.core_s() / 3.0,
+            "{} vs {}",
+            l4.core_s(),
+            l1.core_s()
+        );
     }
 
     #[test]

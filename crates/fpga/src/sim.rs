@@ -143,13 +143,17 @@ impl Accelerator {
             + padded.k_mem * padded.m_mem) as f64
             * bits as f64
             / 8.0;
-        let out_bytes =
-            (self.config.c() * padded.n_core * padded.m_mem) as f64 * bits as f64 / 8.0;
+        let out_bytes = (self.config.c() * padded.n_core * padded.m_mem) as f64 * bits as f64 / 8.0;
         let data_s = (in_bytes + out_bytes) / (PCIE_GBPS * 1.0e9 * PCIE_EFFICIENCY);
         let total_s = core_s + data_s + LAUNCH_OVERHEAD_S;
         Ok((
             result,
-            MeasuredLatency { core_cycles: worst_cycles, core_s, data_s, total_s },
+            MeasuredLatency {
+                core_cycles: worst_cycles,
+                core_s,
+                data_s,
+                total_s,
+            },
         ))
     }
 
@@ -221,15 +225,7 @@ impl Accelerator {
                         for j in ct..ct + t_mac {
                             let acc = out.data()[i * m_comp + j];
                             let bv = b.data()[kk * m_comp + j];
-                            let v = mac_step(
-                                acc,
-                                av,
-                                bv,
-                                &cfg.mac,
-                                i + row_offset,
-                                j,
-                                kk,
-                            );
+                            let v = mac_step(acc, av, bv, &cfg.mac, i + row_offset, j, kk);
                             out.data_mut()[i * m_comp + j] = v;
                         }
                     }
@@ -346,8 +342,7 @@ mod tests {
             for shape in [(13, 29, 7), (64, 64, 64), (1, 1, 1), (100, 37, 65)] {
                 let (a, b) = operands(shape.0, shape.1, shape.2);
                 let (_, measured) = acc.execute(&a, &b, &cfg).unwrap();
-                let quick =
-                    acc.timing_only(GemmShape::new(shape.0, shape.1, shape.2), 8);
+                let quick = acc.timing_only(GemmShape::new(shape.0, shape.1, shape.2), 8);
                 assert_eq!(
                     measured.core_cycles, quick.core_cycles,
                     "<{n},{m},{c}> shape {shape:?}"

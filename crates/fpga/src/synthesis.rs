@@ -34,24 +34,121 @@ pub struct SynthPoint {
 /// Table III of the paper: possible accelerator configurations on the
 /// U55 for the FP8×FP12-SR MAC.
 const TABLE_III: [SynthPoint; 12] = [
-    SynthPoint { n: 1, m: 1, c_max: 10, freq_mhz: 320.9, lut_pct: 14.12, bram_pct: 13.78, dsp_pct: 8.56 },
-    SynthPoint { n: 2, m: 1, c_max: 10, freq_mhz: 320.1, lut_pct: 14.80, bram_pct: 13.80, dsp_pct: 7.98 },
-    SynthPoint { n: 2, m: 2, c_max: 10, freq_mhz: 320.1, lut_pct: 15.10, bram_pct: 14.44, dsp_pct: 8.05 },
-    SynthPoint { n: 4, m: 2, c_max: 10, freq_mhz: 311.0, lut_pct: 18.06, bram_pct: 15.99, dsp_pct: 9.76 },
-    SynthPoint { n: 4, m: 4, c_max: 10, freq_mhz: 328.4, lut_pct: 21.30, bram_pct: 18.20, dsp_pct: 9.80 },
-    SynthPoint { n: 8, m: 4, c_max: 10, freq_mhz: 197.7, lut_pct: 28.20, bram_pct: 17.09, dsp_pct: 11.53 },
-    SynthPoint { n: 8, m: 8, c_max: 10, freq_mhz: 196.2, lut_pct: 37.51, bram_pct: 21.50, dsp_pct: 11.53 },
-    SynthPoint { n: 16, m: 8, c_max: 10, freq_mhz: 180.0, lut_pct: 61.60, bram_pct: 30.3, dsp_pct: 11.6 },
-    SynthPoint { n: 16, m: 16, c_max: 7, freq_mhz: 160.0, lut_pct: 62.73, bram_pct: 33.57, dsp_pct: 7.45 },
-    SynthPoint { n: 32, m: 16, c_max: 4, freq_mhz: 198.4, lut_pct: 73.26, bram_pct: 33.26, dsp_pct: 5.72 },
-    SynthPoint { n: 32, m: 32, c_max: 2, freq_mhz: 197.3, lut_pct: 62.19, bram_pct: 71.48, dsp_pct: 2.77 },
-    SynthPoint { n: 64, m: 32, c_max: 1, freq_mhz: 150.0, lut_pct: 52.57, bram_pct: 71.64, dsp_pct: 1.93 },
+    SynthPoint {
+        n: 1,
+        m: 1,
+        c_max: 10,
+        freq_mhz: 320.9,
+        lut_pct: 14.12,
+        bram_pct: 13.78,
+        dsp_pct: 8.56,
+    },
+    SynthPoint {
+        n: 2,
+        m: 1,
+        c_max: 10,
+        freq_mhz: 320.1,
+        lut_pct: 14.80,
+        bram_pct: 13.80,
+        dsp_pct: 7.98,
+    },
+    SynthPoint {
+        n: 2,
+        m: 2,
+        c_max: 10,
+        freq_mhz: 320.1,
+        lut_pct: 15.10,
+        bram_pct: 14.44,
+        dsp_pct: 8.05,
+    },
+    SynthPoint {
+        n: 4,
+        m: 2,
+        c_max: 10,
+        freq_mhz: 311.0,
+        lut_pct: 18.06,
+        bram_pct: 15.99,
+        dsp_pct: 9.76,
+    },
+    SynthPoint {
+        n: 4,
+        m: 4,
+        c_max: 10,
+        freq_mhz: 328.4,
+        lut_pct: 21.30,
+        bram_pct: 18.20,
+        dsp_pct: 9.80,
+    },
+    SynthPoint {
+        n: 8,
+        m: 4,
+        c_max: 10,
+        freq_mhz: 197.7,
+        lut_pct: 28.20,
+        bram_pct: 17.09,
+        dsp_pct: 11.53,
+    },
+    SynthPoint {
+        n: 8,
+        m: 8,
+        c_max: 10,
+        freq_mhz: 196.2,
+        lut_pct: 37.51,
+        bram_pct: 21.50,
+        dsp_pct: 11.53,
+    },
+    SynthPoint {
+        n: 16,
+        m: 8,
+        c_max: 10,
+        freq_mhz: 180.0,
+        lut_pct: 61.60,
+        bram_pct: 30.3,
+        dsp_pct: 11.6,
+    },
+    SynthPoint {
+        n: 16,
+        m: 16,
+        c_max: 7,
+        freq_mhz: 160.0,
+        lut_pct: 62.73,
+        bram_pct: 33.57,
+        dsp_pct: 7.45,
+    },
+    SynthPoint {
+        n: 32,
+        m: 16,
+        c_max: 4,
+        freq_mhz: 198.4,
+        lut_pct: 73.26,
+        bram_pct: 33.26,
+        dsp_pct: 5.72,
+    },
+    SynthPoint {
+        n: 32,
+        m: 32,
+        c_max: 2,
+        freq_mhz: 197.3,
+        lut_pct: 62.19,
+        bram_pct: 71.48,
+        dsp_pct: 2.77,
+    },
+    SynthPoint {
+        n: 64,
+        m: 32,
+        c_max: 1,
+        freq_mhz: 150.0,
+        lut_pct: 52.57,
+        bram_pct: 71.64,
+        dsp_pct: 1.93,
+    },
 ];
 
 /// Table IV of the paper: achieved frequency (MHz) of the 8×8 array
 /// synthesized with `C = 1..=10` cores.
-const FREQ_8X8_BY_C: [f64; 10] =
-    [378.3, 330.9, 298.0, 298.0, 299.8, 270.6, 274.7, 203.1, 203.1, 196.2];
+const FREQ_8X8_BY_C: [f64; 10] = [
+    378.3, 330.9, 298.0, 298.0, 299.8, 270.6, 274.7, 203.1, 203.1, 196.2,
+];
 
 /// The pre-generated configuration database for one target device.
 ///
@@ -72,7 +169,9 @@ pub struct SynthesisDb {
 impl SynthesisDb {
     /// The Alveo U55 database embedded from the paper's Tables III/IV.
     pub fn u55() -> Self {
-        SynthesisDb { points: TABLE_III.to_vec() }
+        SynthesisDb {
+            points: TABLE_III.to_vec(),
+        }
     }
 
     /// All synthesized `(N, M)` design points.

@@ -52,7 +52,16 @@ pub fn vgg(scale: VggScale, prec: GemmPrecision, seed: u64) -> Sequential {
         for _ in 0..convs {
             layer_seed += 1;
             model = model
-                .push(Conv2d::new(in_c, out_c, 3, 1, 1, (hw, hw), prec, layer_seed))
+                .push(Conv2d::new(
+                    in_c,
+                    out_c,
+                    3,
+                    1,
+                    1,
+                    (hw, hw),
+                    prec,
+                    layer_seed,
+                ))
                 .push(Relu);
             in_c = out_c;
         }
@@ -120,7 +129,9 @@ mod tests {
         let params = model.parameters();
         let mut opt = Sgd::new(0.05, 0.9, 0.0);
         let mut g = Graph::new(true);
-        let x = g.input(Tensor::from_fn(vec![4, 1, 28, 28], |i| ((i % 17) as f32 - 8.0) * 0.1));
+        let x = g.input(Tensor::from_fn(vec![4, 1, 28, 28], |i| {
+            ((i % 17) as f32 - 8.0) * 0.1
+        }));
         let logits = model.forward(&mut g, x);
         let loss = g.cross_entropy(logits, &[0, 1, 2, 3]);
         assert!(g.value(loss).item().is_finite());

@@ -52,7 +52,12 @@ impl LayerDesc {
     /// contributes its products per head and per sample.
     pub fn training_gemms(&self, batch: usize) -> Vec<GemmShape> {
         match *self {
-            LayerDesc::Conv { in_c, out_c, kernel, out_pixels } => {
+            LayerDesc::Conv {
+                in_c,
+                out_c,
+                kernel,
+                out_pixels,
+            } => {
                 let ckk = in_c * kernel * kernel;
                 let np = batch * out_pixels;
                 vec![
@@ -61,7 +66,11 @@ impl LayerDesc {
                     GemmShape::new(ckk, out_c, np), // dcols = Wᵀ · dY
                 ]
             }
-            LayerDesc::Linear { in_f, out_f, tokens } => {
+            LayerDesc::Linear {
+                in_f,
+                out_f,
+                tokens,
+            } => {
                 let rows = batch * tokens;
                 vec![
                     GemmShape::new(rows, in_f, out_f), // forward
@@ -69,7 +78,11 @@ impl LayerDesc {
                     GemmShape::new(out_f, rows, in_f), // dW = dYᵀ · X
                 ]
             }
-            LayerDesc::Attention { tokens, heads, head_dim } => {
+            LayerDesc::Attention {
+                tokens,
+                heads,
+                head_dim,
+            } => {
                 let per_head = [
                     GemmShape::new(tokens, head_dim, tokens), // scores = Q·Kᵀ
                     GemmShape::new(tokens, tokens, head_dim), // dQ = dS · K
@@ -142,18 +155,45 @@ impl ModelDesc {
             name: "LeNet5",
             batch,
             layers: vec![
-                LayerDesc::Conv { in_c: 1, out_c: 6, kernel: 5, out_pixels: 28 * 28 },
-                LayerDesc::Conv { in_c: 6, out_c: 16, kernel: 5, out_pixels: 10 * 10 },
-                LayerDesc::Linear { in_f: 400, out_f: 120, tokens: 1 },
-                LayerDesc::Linear { in_f: 120, out_f: 84, tokens: 1 },
-                LayerDesc::Linear { in_f: 84, out_f: 10, tokens: 1 },
+                LayerDesc::Conv {
+                    in_c: 1,
+                    out_c: 6,
+                    kernel: 5,
+                    out_pixels: 28 * 28,
+                },
+                LayerDesc::Conv {
+                    in_c: 6,
+                    out_c: 16,
+                    kernel: 5,
+                    out_pixels: 10 * 10,
+                },
+                LayerDesc::Linear {
+                    in_f: 400,
+                    out_f: 120,
+                    tokens: 1,
+                },
+                LayerDesc::Linear {
+                    in_f: 120,
+                    out_f: 84,
+                    tokens: 1,
+                },
+                LayerDesc::Linear {
+                    in_f: 84,
+                    out_f: 10,
+                    tokens: 1,
+                },
             ],
         }
     }
 
     /// ResNet-20 on 3×32×32 CIFAR10 (paper batch 128).
     pub fn resnet20(batch: usize) -> ModelDesc {
-        let mut layers = vec![LayerDesc::Conv { in_c: 3, out_c: 16, kernel: 3, out_pixels: 32 * 32 }];
+        let mut layers = vec![LayerDesc::Conv {
+            in_c: 3,
+            out_c: 16,
+            kernel: 3,
+            out_pixels: 32 * 32,
+        }];
         // (width, blocks, spatial) per stage; stride-2 entry convs.
         let stages = [(16usize, 3usize, 32usize), (32, 3, 16), (64, 3, 8)];
         let mut in_c = 16;
@@ -161,16 +201,39 @@ impl ModelDesc {
             for b in 0..blocks {
                 let first = b == 0 && si > 0;
                 let px = hw * hw;
-                layers.push(LayerDesc::Conv { in_c, out_c: w, kernel: 3, out_pixels: px });
-                layers.push(LayerDesc::Conv { in_c: w, out_c: w, kernel: 3, out_pixels: px });
+                layers.push(LayerDesc::Conv {
+                    in_c,
+                    out_c: w,
+                    kernel: 3,
+                    out_pixels: px,
+                });
+                layers.push(LayerDesc::Conv {
+                    in_c: w,
+                    out_c: w,
+                    kernel: 3,
+                    out_pixels: px,
+                });
                 if first {
-                    layers.push(LayerDesc::Conv { in_c, out_c: w, kernel: 1, out_pixels: px });
+                    layers.push(LayerDesc::Conv {
+                        in_c,
+                        out_c: w,
+                        kernel: 1,
+                        out_pixels: px,
+                    });
                 }
                 in_c = w;
             }
         }
-        layers.push(LayerDesc::Linear { in_f: 64, out_f: 10, tokens: 1 });
-        ModelDesc { name: "ResNet20", batch, layers }
+        layers.push(LayerDesc::Linear {
+            in_f: 64,
+            out_f: 10,
+            tokens: 1,
+        });
+        ModelDesc {
+            name: "ResNet20",
+            batch,
+            layers,
+        }
     }
 
     /// VGG16 on 3×32×32 CIFAR10 (paper batch 128).
@@ -186,21 +249,47 @@ impl ModelDesc {
         let mut in_c = 3;
         for &(w, convs, hw) in &stages {
             for _ in 0..convs {
-                layers.push(LayerDesc::Conv { in_c, out_c: w, kernel: 3, out_pixels: hw * hw });
+                layers.push(LayerDesc::Conv {
+                    in_c,
+                    out_c: w,
+                    kernel: 3,
+                    out_pixels: hw * hw,
+                });
                 in_c = w;
             }
         }
-        layers.push(LayerDesc::Linear { in_f: 512, out_f: 512, tokens: 1 });
-        layers.push(LayerDesc::Linear { in_f: 512, out_f: 512, tokens: 1 });
-        layers.push(LayerDesc::Linear { in_f: 512, out_f: 10, tokens: 1 });
-        ModelDesc { name: "VGG16", batch, layers }
+        layers.push(LayerDesc::Linear {
+            in_f: 512,
+            out_f: 512,
+            tokens: 1,
+        });
+        layers.push(LayerDesc::Linear {
+            in_f: 512,
+            out_f: 512,
+            tokens: 1,
+        });
+        layers.push(LayerDesc::Linear {
+            in_f: 512,
+            out_f: 10,
+            tokens: 1,
+        });
+        ModelDesc {
+            name: "VGG16",
+            batch,
+            layers,
+        }
     }
 
     /// ResNet-50 on 3×224×224 Imagewoof (paper batch 16).
     pub fn resnet50(batch: usize) -> ModelDesc {
         let mut layers = vec![
             // 7x7/2 stem: 224 -> 112, then 3x3/2 max-pool -> 56.
-            LayerDesc::Conv { in_c: 3, out_c: 64, kernel: 7, out_pixels: 112 * 112 },
+            LayerDesc::Conv {
+                in_c: 3,
+                out_c: 64,
+                kernel: 7,
+                out_pixels: 112 * 112,
+            },
         ];
         let stages = [
             (64usize, 3usize, 56usize),
@@ -213,19 +302,47 @@ impl ModelDesc {
             for b in 0..blocks {
                 let px = hw * hw;
                 // Bottleneck: 1x1 reduce, 3x3, 1x1 expand (x4).
-                layers.push(LayerDesc::Conv { in_c, out_c: w, kernel: 1, out_pixels: px });
-                layers.push(LayerDesc::Conv { in_c: w, out_c: w, kernel: 3, out_pixels: px });
-                layers.push(LayerDesc::Conv { in_c: w, out_c: w * 4, kernel: 1, out_pixels: px });
+                layers.push(LayerDesc::Conv {
+                    in_c,
+                    out_c: w,
+                    kernel: 1,
+                    out_pixels: px,
+                });
+                layers.push(LayerDesc::Conv {
+                    in_c: w,
+                    out_c: w,
+                    kernel: 3,
+                    out_pixels: px,
+                });
+                layers.push(LayerDesc::Conv {
+                    in_c: w,
+                    out_c: w * 4,
+                    kernel: 1,
+                    out_pixels: px,
+                });
                 if b == 0 {
                     // Projection shortcut.
-                    layers.push(LayerDesc::Conv { in_c, out_c: w * 4, kernel: 1, out_pixels: px });
+                    layers.push(LayerDesc::Conv {
+                        in_c,
+                        out_c: w * 4,
+                        kernel: 1,
+                        out_pixels: px,
+                    });
                 }
                 in_c = w * 4;
                 let _ = si;
             }
         }
-        layers.push(LayerDesc::Linear { in_f: 2048, out_f: 10, tokens: 1 });
-        ModelDesc { name: "ResNet50", batch, layers }
+        layers.push(LayerDesc::Linear {
+            in_f: 2048,
+            out_f: 10,
+            tokens: 1,
+        });
+        ModelDesc {
+            name: "ResNet50",
+            batch,
+            layers,
+        }
     }
 
     /// NanoGPT on the Shakespeare character corpus (6L/6H/384E,
@@ -234,14 +351,42 @@ impl ModelDesc {
         let (layers_n, heads, embed, t, vocab) = (6usize, 6usize, 384usize, 256usize, 65usize);
         let mut layers = Vec::new();
         for _ in 0..layers_n {
-            layers.push(LayerDesc::Linear { in_f: embed, out_f: 3 * embed, tokens: t }); // QKV
-            layers.push(LayerDesc::Attention { tokens: t, heads, head_dim: embed / heads });
-            layers.push(LayerDesc::Linear { in_f: embed, out_f: embed, tokens: t }); // proj
-            layers.push(LayerDesc::Linear { in_f: embed, out_f: 4 * embed, tokens: t }); // MLP fc
-            layers.push(LayerDesc::Linear { in_f: 4 * embed, out_f: embed, tokens: t }); // MLP proj
+            layers.push(LayerDesc::Linear {
+                in_f: embed,
+                out_f: 3 * embed,
+                tokens: t,
+            }); // QKV
+            layers.push(LayerDesc::Attention {
+                tokens: t,
+                heads,
+                head_dim: embed / heads,
+            });
+            layers.push(LayerDesc::Linear {
+                in_f: embed,
+                out_f: embed,
+                tokens: t,
+            }); // proj
+            layers.push(LayerDesc::Linear {
+                in_f: embed,
+                out_f: 4 * embed,
+                tokens: t,
+            }); // MLP fc
+            layers.push(LayerDesc::Linear {
+                in_f: 4 * embed,
+                out_f: embed,
+                tokens: t,
+            }); // MLP proj
         }
-        layers.push(LayerDesc::Linear { in_f: embed, out_f: vocab, tokens: t }); // LM head
-        ModelDesc { name: "Nano-GPT", batch, layers }
+        layers.push(LayerDesc::Linear {
+            in_f: embed,
+            out_f: vocab,
+            tokens: t,
+        }); // LM head
+        ModelDesc {
+            name: "Nano-GPT",
+            batch,
+            layers,
+        }
     }
 }
 
@@ -251,7 +396,12 @@ mod tests {
 
     #[test]
     fn conv_gemms_have_three_products() {
-        let l = LayerDesc::Conv { in_c: 3, out_c: 16, kernel: 3, out_pixels: 1024 };
+        let l = LayerDesc::Conv {
+            in_c: 3,
+            out_c: 16,
+            kernel: 3,
+            out_pixels: 1024,
+        };
         let g = l.training_gemms(8);
         assert_eq!(g.len(), 3);
         assert_eq!(g[0], GemmShape::new(16, 27, 8192));
@@ -262,7 +412,11 @@ mod tests {
 
     #[test]
     fn linear_gemms_balance() {
-        let l = LayerDesc::Linear { in_f: 400, out_f: 120, tokens: 1 };
+        let l = LayerDesc::Linear {
+            in_f: 400,
+            out_f: 120,
+            tokens: 1,
+        };
         let g = l.training_gemms(64);
         assert_eq!(g.len(), 3);
         assert!(g.iter().all(|s| s.macs() == 64 * 400 * 120));
@@ -270,7 +424,11 @@ mod tests {
 
     #[test]
     fn attention_gemm_count_scales_with_heads_and_batch() {
-        let l = LayerDesc::Attention { tokens: 8, heads: 2, head_dim: 4 };
+        let l = LayerDesc::Attention {
+            tokens: 8,
+            heads: 2,
+            head_dim: 4,
+        };
         assert_eq!(l.training_gemms(3).len(), 3 * 2 * 6);
     }
 
@@ -278,7 +436,10 @@ mod tests {
     fn all_benchmarks_present() {
         let all = ModelDesc::all_benchmarks();
         let names: Vec<_> = all.iter().map(|m| m.name()).collect();
-        assert_eq!(names, ["LeNet5", "VGG16", "ResNet20", "ResNet50", "Nano-GPT"]);
+        assert_eq!(
+            names,
+            ["LeNet5", "VGG16", "ResNet20", "ResNet50", "Nano-GPT"]
+        );
     }
 
     #[test]

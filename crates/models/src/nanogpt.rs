@@ -2,8 +2,9 @@
 //! 6 layers, 6 attention heads, 384 embedding, block size 256,
 //! trained on a character corpus with Adam at 1e-4.
 
-use mpt_nn::{Embedding, GemmPrecision, Graph, Layer, LayerNorm, Linear, NodeId, Parameter,
-    TransformerBlock};
+use mpt_nn::{
+    Embedding, GemmPrecision, Graph, Layer, LayerNorm, Linear, NodeId, Parameter, TransformerBlock,
+};
 
 /// Architecture hyper-parameters of a NanoGPT model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,13 +25,25 @@ impl NanoGptConfig {
     /// The paper's configuration: 6 layers, 6 heads, 384 embedding,
     /// block size 256.
     pub fn paper(vocab: usize) -> Self {
-        NanoGptConfig { vocab, layers: 6, heads: 6, embed: 384, block_size: 256 }
+        NanoGptConfig {
+            vocab,
+            layers: 6,
+            heads: 6,
+            embed: 384,
+            block_size: 256,
+        }
     }
 
     /// A small preset for the synthetic-corpus experiments
     /// (2 layers, 2 heads, 32 embedding, 32-token context).
     pub fn scaled(vocab: usize) -> Self {
-        NanoGptConfig { vocab, layers: 2, heads: 2, embed: 32, block_size: 32 }
+        NanoGptConfig {
+            vocab,
+            layers: 2,
+            heads: 2,
+            embed: 32,
+            block_size: 32,
+        }
     }
 }
 
@@ -100,7 +113,13 @@ impl NanoGpt {
 
     /// Forward plus cross-entropy against next-token targets; returns
     /// `(logits, loss)`.
-    pub fn loss(&self, g: &mut Graph, ids: &[usize], targets: &[usize], step: u64) -> (NodeId, NodeId) {
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        ids: &[usize],
+        targets: &[usize],
+        step: u64,
+    ) -> (NodeId, NodeId) {
         let logits = self.forward_ids(g, ids, step);
         let loss = g.cross_entropy(logits, targets);
         (logits, loss)

@@ -16,7 +16,14 @@ struct BasicBlock {
 }
 
 impl BasicBlock {
-    fn new(in_c: usize, out_c: usize, stride: usize, hw: usize, prec: GemmPrecision, seed: u64) -> Self {
+    fn new(
+        in_c: usize,
+        out_c: usize,
+        stride: usize,
+        hw: usize,
+        prec: GemmPrecision,
+        seed: u64,
+    ) -> Self {
         let out_hw = hw / stride;
         BasicBlock {
             conv1: Conv2d::new(in_c, out_c, 3, stride, 1, (hw, hw), prec, seed + 1),
@@ -80,7 +87,14 @@ struct Bottleneck {
 impl Bottleneck {
     const EXPANSION: usize = 4;
 
-    fn new(in_c: usize, width: usize, stride: usize, hw: usize, prec: GemmPrecision, seed: u64) -> Self {
+    fn new(
+        in_c: usize,
+        width: usize,
+        stride: usize,
+        hw: usize,
+        prec: GemmPrecision,
+        seed: u64,
+    ) -> Self {
         let out_c = width * Self::EXPANSION;
         let out_hw = hw / stride;
         Bottleneck {
@@ -175,11 +189,15 @@ impl ResNet {
     /// Builds the requested variant for 10-class outputs.
     pub fn new(kind: ResNetKind, prec: GemmPrecision, seed: u64) -> Self {
         match kind {
-            ResNetKind::ResNet20 => Self::basic(&[(16, 3, 1), (32, 3, 2), (64, 3, 2)], 16, 32, prec, seed),
+            ResNetKind::ResNet20 => {
+                Self::basic(&[(16, 3, 1), (32, 3, 2), (64, 3, 2)], 16, 32, prec, seed)
+            }
             ResNetKind::ResNet20Scaled => {
                 Self::basic(&[(8, 1, 1), (16, 1, 2), (32, 1, 2)], 8, 32, prec, seed)
             }
-            ResNetKind::ResNet50Scaled => Self::bottleneck(&[(8, 1, 1), (16, 1, 2)], 8, 32, prec, seed),
+            ResNetKind::ResNet50Scaled => {
+                Self::bottleneck(&[(8, 1, 1), (16, 1, 2)], 8, 32, prec, seed)
+            }
             ResNetKind::ResNet20Scaled16 => {
                 Self::basic(&[(8, 1, 1), (16, 1, 2), (32, 1, 2)], 8, 16, prec, seed)
             }
@@ -206,7 +224,9 @@ impl ResNet {
         for &(width, count, first_stride) in stages {
             for b in 0..count {
                 let stride = if b == 0 { first_stride } else { 1 };
-                blocks.push(Box::new(BasicBlock::new(in_c, width, stride, cur_hw, prec, s)));
+                blocks.push(Box::new(BasicBlock::new(
+                    in_c, width, stride, cur_hw, prec, s,
+                )));
                 cur_hw /= stride;
                 in_c = width;
                 s += 10;
@@ -237,7 +257,9 @@ impl ResNet {
         for &(width, count, first_stride) in stages {
             for b in 0..count {
                 let stride = if b == 0 { first_stride } else { 1 };
-                blocks.push(Box::new(Bottleneck::new(in_c, width, stride, cur_hw, prec, s)));
+                blocks.push(Box::new(Bottleneck::new(
+                    in_c, width, stride, cur_hw, prec, s,
+                )));
                 cur_hw /= stride;
                 in_c = width * Bottleneck::EXPANSION;
                 s += 10;
@@ -318,7 +340,9 @@ mod tests {
         let model = ResNet::new(ResNetKind::ResNet20Scaled, GemmPrecision::fp32(), 0);
         let params = model.parameters();
         let mut g = Graph::new(true);
-        let x = g.input(Tensor::from_fn(vec![2, 3, 32, 32], |i| ((i % 13) as f32 - 6.0) * 0.1));
+        let x = g.input(Tensor::from_fn(vec![2, 3, 32, 32], |i| {
+            ((i % 13) as f32 - 6.0) * 0.1
+        }));
         let y = model.forward(&mut g, x);
         let loss = g.cross_entropy(y, &[1, 7]);
         g.backward(loss, 1.0);

@@ -33,7 +33,12 @@ impl CausalSelfAttention {
     pub fn new(embed: usize, heads: usize, dropout: f32, prec: GemmPrecision, seed: u64) -> Self {
         assert_eq!(embed % heads, 0, "heads must divide the embedding size");
         CausalSelfAttention {
-            qkv: Linear::new(embed, 3 * embed, prec, seed.wrapping_mul(31).wrapping_add(1)),
+            qkv: Linear::new(
+                embed,
+                3 * embed,
+                prec,
+                seed.wrapping_mul(31).wrapping_add(1),
+            ),
             proj: Linear::new(embed, embed, prec, seed.wrapping_mul(31).wrapping_add(2)),
             heads,
             embed,
@@ -111,8 +116,18 @@ impl TransformerBlock {
             ln1: LayerNorm::new(embed, seed.wrapping_mul(13).wrapping_add(1)),
             attn: CausalSelfAttention::new(embed, heads, dropout, prec, seed),
             ln2: LayerNorm::new(embed, seed.wrapping_mul(13).wrapping_add(2)),
-            fc: Linear::new(embed, 4 * embed, prec, seed.wrapping_mul(13).wrapping_add(3)),
-            proj: Linear::new(4 * embed, embed, prec, seed.wrapping_mul(13).wrapping_add(4)),
+            fc: Linear::new(
+                embed,
+                4 * embed,
+                prec,
+                seed.wrapping_mul(13).wrapping_add(3),
+            ),
+            proj: Linear::new(
+                4 * embed,
+                embed,
+                prec,
+                seed.wrapping_mul(13).wrapping_add(4),
+            ),
             dropout,
             seed,
         }
@@ -200,11 +215,7 @@ mod tests {
         let loss = g.mean_all(sq);
         g.backward(loss, 1.0);
         for p in &params {
-            assert!(
-                p.grad().abs_max() > 0.0,
-                "no gradient reached {}",
-                p.name()
-            );
+            assert!(p.grad().abs_max() > 0.0, "no gradient reached {}", p.name());
         }
     }
 
@@ -245,6 +256,10 @@ mod tests {
             g.backward(loss, 1.0);
             opt.step(&params);
         }
-        assert!(last < first.unwrap() * 0.5, "{:?} -> {last}", first.unwrap());
+        assert!(
+            last < first.unwrap() * 0.5,
+            "{:?} -> {last}",
+            first.unwrap()
+        );
     }
 }

@@ -72,7 +72,11 @@ mod tests {
     fn gaussian_moments() {
         let t = normal(vec![20_000], 1.0, 0.5, 11);
         assert!((t.mean() - 1.0).abs() < 0.02);
-        let var = t.data().iter().map(|&v| ((v as f64) - 1.0).powi(2)).sum::<f64>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&v| ((v as f64) - 1.0).powi(2))
+            .sum::<f64>()
             / t.numel() as f64;
         assert!((var - 0.25).abs() < 0.02, "var {var}");
     }

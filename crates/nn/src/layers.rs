@@ -33,13 +33,21 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a linear layer with Kaiming initialization.
-    pub fn new(in_features: usize, out_features: usize, precision: GemmPrecision, seed: u64) -> Self {
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        precision: GemmPrecision,
+        seed: u64,
+    ) -> Self {
         Linear {
             weight: Parameter::new(
                 format!("linear{seed}.weight"),
                 init::kaiming_normal(vec![out_features, in_features], in_features, seed),
             ),
-            bias: Parameter::new(format!("linear{seed}.bias"), Tensor::zeros(vec![out_features])),
+            bias: Parameter::new(
+                format!("linear{seed}.bias"),
+                Tensor::zeros(vec![out_features]),
+            ),
             precision,
         }
     }
@@ -106,7 +114,10 @@ impl Conv2d {
                 format!("conv{seed}.weight"),
                 init::kaiming_normal(vec![out_channels, fan_in], fan_in, seed),
             ),
-            bias: Parameter::new(format!("conv{seed}.bias"), Tensor::zeros(vec![out_channels])),
+            bias: Parameter::new(
+                format!("conv{seed}.bias"),
+                Tensor::zeros(vec![out_channels]),
+            ),
             geom,
             in_channels,
             out_channels,
@@ -447,11 +458,8 @@ mod tests {
             .push(Linear::new(16, 2, GemmPrecision::fp32(), 11));
         let params = model.parameters();
         let mut opt = Sgd::new(0.1, 0.9, 0.0);
-        let inputs = Tensor::from_vec(
-            vec![4, 2],
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let inputs =
+            Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
         let targets = [0usize, 1, 1, 0];
         let mut first = None;
         let mut last = 0.0;

@@ -122,7 +122,7 @@ mod tests {
     fn finite_gradients_are_unscaled() {
         let p = param(vec![256.0, -512.0]);
         let mut s = AdaptiveLossScaler::new();
-        assert!(s.unscale_or_skip(&[p.clone()]));
+        assert!(s.unscale_or_skip(std::slice::from_ref(&p)));
         assert_eq!(p.grad().data(), &[1.0, -2.0]);
     }
 
@@ -130,7 +130,7 @@ mod tests {
     fn overflow_halves_scale_and_zeroes() {
         let p = param(vec![f32::INFINITY, 1.0]);
         let mut s = AdaptiveLossScaler::new();
-        assert!(!s.unscale_or_skip(&[p.clone()]));
+        assert!(!s.unscale_or_skip(std::slice::from_ref(&p)));
         assert_eq!(s.scale(), 128.0);
         assert_eq!(p.grad().data(), &[0.0, 0.0]);
         assert_eq!(s.overflow_count(), 1);

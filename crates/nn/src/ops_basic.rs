@@ -113,7 +113,10 @@ impl Graph {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn dropout(&mut self, x: NodeId, p: f32, seed: u64) -> NodeId {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         if !self.is_training() || p == 0.0 {
             // Identity pass-through node keeps graph structure stable.
             let value = self.value(x).clone();
@@ -127,7 +130,13 @@ impl Graph {
         let mut rng = StdRng::seed_from_u64(seed);
         let keep = 1.0 - p;
         let mask: Vec<f32> = (0..self.value(x).numel())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(self.value(x).shape().to_vec(), mask).expect("shape");
         let value = self.value(x).mul(&mask).expect("shape");
@@ -218,7 +227,10 @@ mod tests {
         for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
             let analytic = gelu_grad(x);
             let numeric = finite_diff(gelu_fwd, x);
-            assert!((analytic - numeric).abs() < 1e-2, "x={x}: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "x={x}: {analytic} vs {numeric}"
+            );
         }
     }
 

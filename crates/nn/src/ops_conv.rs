@@ -43,8 +43,7 @@ impl Graph {
         // adding bias per output channel.
         let pix = geom.out_pixels();
         let mut out = vec![0.0f32; batch * out_c * pix];
-        let bias_vals: Option<Vec<f32>> =
-            bias.map(|b| self.value(b).data().to_vec());
+        let bias_vals: Option<Vec<f32>> = bias.map(|b| self.value(b).data().to_vec());
         for o in 0..out_c {
             let bv = bias_vals.as_ref().map_or(0.0, |b| b[o]);
             for img in 0..batch {
@@ -54,8 +53,8 @@ impl Graph {
                 }
             }
         }
-        let value = Tensor::from_vec(vec![batch, out_c, geom.out_h, geom.out_w], out)
-            .expect("shape");
+        let value =
+            Tensor::from_vec(vec![batch, out_c, geom.out_h, geom.out_w], out).expect("shape");
 
         let bwd = prec.bwd;
         let parents = match bias {
@@ -96,8 +95,8 @@ impl Graph {
                 if has_bias {
                     // db[o] = sum over batch and pixels of dY.
                     let mut db = vec![0.0f32; out_c];
-                    for o in 0..out_c {
-                        db[o] = dy.data()[o * (batch * pix)..(o + 1) * (batch * pix)]
+                    for (o, d) in db.iter_mut().enumerate() {
+                        *d = dy.data()[o * (batch * pix)..(o + 1) * (batch * pix)]
                             .iter()
                             .sum();
                     }
@@ -161,9 +160,7 @@ impl Graph {
                 for (o, &src) in argmax.iter().enumerate() {
                     dx[src] += args.grad.data()[o];
                 }
-                vec![Some(
-                    Tensor::from_vec(vec![n, c, h, w], dx).expect("shape"),
-                )]
+                vec![Some(Tensor::from_vec(vec![n, c, h, w], dx).expect("shape"))]
             })),
             None,
         )
@@ -189,8 +186,7 @@ impl Graph {
         for img in 0..n {
             for ch in 0..c {
                 let base = (img * c + ch) * h * w;
-                out[img * c + ch] =
-                    input.data()[base..base + h * w].iter().sum::<f32>() / area;
+                out[img * c + ch] = input.data()[base..base + h * w].iter().sum::<f32>() / area;
             }
         }
         let value = Tensor::from_vec(vec![n, c], out).expect("shape");
@@ -208,9 +204,7 @@ impl Graph {
                         }
                     }
                 }
-                vec![Some(
-                    Tensor::from_vec(vec![n, c, h, w], dx).expect("shape"),
-                )]
+                vec![Some(Tensor::from_vec(vec![n, c, h, w], dx).expect("shape"))]
             })),
             None,
         )
@@ -285,7 +279,10 @@ mod tests {
             minus.data_mut()[idx] -= h;
             let numeric = (run(&plus, &w0, &b0) - run(&minus, &w0, &b0)) / (2.0 * h);
             let analytic = g.grad(x).unwrap().data()[idx];
-            assert!((analytic - numeric).abs() < 1e-3, "dx[{idx}]: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-3,
+                "dx[{idx}]: {analytic} vs {numeric}"
+            );
         }
         for idx in [0usize, 7, 20, 35] {
             let mut plus = w0.clone();
@@ -294,7 +291,10 @@ mod tests {
             minus.data_mut()[idx] -= h;
             let numeric = (run(&x0, &plus, &b0) - run(&x0, &minus, &b0)) / (2.0 * h);
             let analytic = g.grad(w).unwrap().data()[idx];
-            assert!((analytic - numeric).abs() < 1e-3, "dw[{idx}]: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-3,
+                "dw[{idx}]: {analytic} vs {numeric}"
+            );
         }
         for idx in 0..2 {
             let mut plus = b0.clone();
@@ -303,20 +303,17 @@ mod tests {
             minus.data_mut()[idx] -= h;
             let numeric = (run(&x0, &w0, &plus) - run(&x0, &w0, &minus)) / (2.0 * h);
             let analytic = g.grad(b).unwrap().data()[idx];
-            assert!((analytic - numeric).abs() < 1e-3, "db[{idx}]: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-3,
+                "db[{idx}]: {analytic} vs {numeric}"
+            );
         }
     }
 
     #[test]
     fn maxpool_selects_max_and_routes_gradient() {
         let mut g = Graph::new(true);
-        let x = g.input(
-            Tensor::from_vec(
-                vec![1, 1, 2, 2],
-                vec![1.0, 5.0, 3.0, 2.0],
-            )
-            .unwrap(),
-        );
+        let x = g.input(Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).unwrap());
         let y = g.maxpool2d(x);
         assert_eq!(g.value(y).data(), &[5.0]);
         g.backward(y, 1.0);

@@ -31,8 +31,12 @@ impl Graph {
                 let b_val = args.inputs[1];
                 let bt = b_val.transpose().expect("matrix");
                 let at = a_val.transpose().expect("matrix");
-                let da = backend.gemm(args.grad, &bt, &bwd).expect("dA shapes conform");
-                let db = backend.gemm(&at, args.grad, &bwd).expect("dB shapes conform");
+                let da = backend
+                    .gemm(args.grad, &bt, &bwd)
+                    .expect("dA shapes conform");
+                let db = backend
+                    .gemm(&at, args.grad, &bwd)
+                    .expect("dB shapes conform");
                 vec![Some(da), Some(db)]
             })),
             None,
@@ -90,7 +94,10 @@ impl Graph {
     ///
     /// Panics if the node is not a matrix.
     pub fn transpose2d(&mut self, x: NodeId) -> NodeId {
-        let value = self.value(x).transpose().expect("transpose2d needs a matrix");
+        let value = self
+            .value(x)
+            .transpose()
+            .expect("transpose2d needs a matrix");
         self.push(
             value,
             vec![x],
@@ -161,10 +168,8 @@ mod tests {
     fn backward_uses_backward_precision() {
         // Forward FP32 but backward quantized to a coarse format: the
         // parameter gradient must land on the coarse grid.
-        let prec = GemmPrecision::split(
-            QGemmConfig::fp32(),
-            QGemmConfig::fp8_fp12_sr().with_seed(3),
-        );
+        let prec =
+            GemmPrecision::split(QGemmConfig::fp32(), QGemmConfig::fp8_fp12_sr().with_seed(3));
         let w = Parameter::new("w", Tensor::from_fn(vec![2, 2], |i| 0.3 + i as f32 * 0.21));
         let mut g = Graph::new(true);
         let x = g.input(Tensor::from_fn(vec![2, 2], |i| 0.7 - i as f32 * 0.13));
@@ -174,7 +179,10 @@ mod tests {
         g.backward(loss, 1.0);
         let e6m5 = mpt_formats::FloatFormat::e6m5();
         for &v in w.grad().data() {
-            assert!(e6m5.is_representable(v as f64), "grad {v} not E6M5-representable");
+            assert!(
+                e6m5.is_representable(v as f64),
+                "grad {v} not E6M5-representable"
+            );
         }
     }
 
@@ -196,9 +204,7 @@ mod tests {
         let mut g = Graph::new(true);
         let x = g.input(Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap());
         // w: [out=2, in=3]
-        let w = g.input(
-            Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap(),
-        );
+        let w = g.input(Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap());
         let b = g.input(Tensor::from_vec(vec![2], vec![10.0, 20.0]).unwrap());
         let y = g.linear(x, w, Some(b), fp32());
         assert_eq!(g.value(y).data(), &[11.0, 25.0]);

@@ -45,10 +45,10 @@ impl Graph {
             let mut mean = vec![0.0f64; c];
             let mut var = vec![0.0f64; c];
             for img in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let base = (img * c + ch) * h * w;
                     for &v in &input.data()[base..base + h * w] {
-                        mean[ch] += v as f64;
+                        *m += v as f64;
                     }
                 }
             }
@@ -95,10 +95,8 @@ impl Graph {
 
         let stats = if self.is_training() {
             Some((
-                Tensor::from_vec(vec![c], mean.iter().map(|&v| v as f32).collect())
-                    .expect("shape"),
-                Tensor::from_vec(vec![c], var.iter().map(|&v| v as f32).collect())
-                    .expect("shape"),
+                Tensor::from_vec(vec![c], mean.iter().map(|&v| v as f32).collect()).expect("shape"),
+                Tensor::from_vec(vec![c], var.iter().map(|&v| v as f32).collect()).expect("shape"),
             ))
         } else {
             None
@@ -182,8 +180,7 @@ impl Graph {
         for i in 0..r {
             let row = &input.data()[i * c..(i + 1) * c];
             let mean: f64 = row.iter().map(|&v| v as f64).sum::<f64>() / c as f64;
-            let var: f64 =
-                row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / c as f64;
+            let var: f64 = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / c as f64;
             inv_std[i] = 1.0 / (var + BN_EPS).sqrt();
             for j in 0..c {
                 let xh = ((row[j] as f64 - mean) * inv_std[i]) as f32;
@@ -214,8 +211,7 @@ impl Graph {
                     for j in 0..c {
                         let gh = (g.data()[i * c + j] * gamma_v[j]) as f64;
                         dx[i * c + j] = (inv_std[i]
-                            * (gh - sum_g / c as f64
-                                - xhat[i * c + j] as f64 * sum_gx / c as f64))
+                            * (gh - sum_g / c as f64 - xhat[i * c + j] as f64 * sum_gx / c as f64))
                             as f32;
                     }
                 }
@@ -333,7 +329,10 @@ mod tests {
             minus.data_mut()[idx] -= h;
             let numeric = (run(&plus) - run(&minus)) / (2.0 * h);
             let analytic = g.grad(x).unwrap().data()[idx];
-            assert!((analytic - numeric).abs() < 1e-2, "dx[{idx}]: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "dx[{idx}]: {analytic} vs {numeric}"
+            );
         }
     }
 
@@ -382,7 +381,10 @@ mod tests {
             minus.data_mut()[idx] -= h;
             let numeric = (run(&plus) - run(&minus)) / (2.0 * h);
             let analytic = g.grad(x).unwrap().data()[idx];
-            assert!((analytic - numeric).abs() < 1e-2, "dx[{idx}]: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "dx[{idx}]: {analytic} vs {numeric}"
+            );
         }
     }
 

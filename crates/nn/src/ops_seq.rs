@@ -13,7 +13,10 @@ impl Graph {
     ///
     /// Panics if `table` is not a matrix or an id is out of range.
     pub fn embedding(&mut self, table: NodeId, ids: &[usize]) -> NodeId {
-        let (vocab, dim) = self.value(table).as_matrix().expect("embedding table is a matrix");
+        let (vocab, dim) = self
+            .value(table)
+            .as_matrix()
+            .expect("embedding table is a matrix");
         assert!(ids.iter().all(|&i| i < vocab), "embedding id out of range");
         let mut out = vec![0.0f32; ids.len() * dim];
         for (row, &id) in ids.iter().enumerate() {
@@ -117,8 +120,7 @@ impl Graph {
                 for s in 0..b {
                     for i in 0..c {
                         for j in 0..r {
-                            dx[s * r * c + j * c + i] =
-                                args.grad.data()[s * r * c + i * r + j];
+                            dx[s * r * c + j * c + i] = args.grad.data()[s * r * c + i * r + j];
                         }
                     }
                 }
@@ -205,8 +207,14 @@ impl Graph {
     ///
     /// Panics on non-matrix input or an out-of-range span.
     pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
-        let (r, c) = self.value(x).as_matrix().expect("slice_cols input is a matrix");
-        assert!(start <= end && end <= c, "column span {start}..{end} out of range");
+        let (r, c) = self
+            .value(x)
+            .as_matrix()
+            .expect("slice_cols input is a matrix");
+        assert!(
+            start <= end && end <= c,
+            "column span {start}..{end} out of range"
+        );
         let w = end - start;
         let mut out = vec![0.0f32; r * w];
         for i in 0..r {
@@ -236,8 +244,15 @@ impl Graph {
     ///
     /// Panics unless the feature dimension divides evenly by `heads`.
     pub fn split_heads(&mut self, x: NodeId, heads: usize) -> NodeId {
-        let (t, c) = self.value(x).as_matrix().expect("split_heads input is a matrix");
-        assert_eq!(c % heads, 0, "feature dim {c} not divisible by {heads} heads");
+        let (t, c) = self
+            .value(x)
+            .as_matrix()
+            .expect("split_heads input is a matrix");
+        assert_eq!(
+            c % heads,
+            0,
+            "feature dim {c} not divisible by {heads} heads"
+        );
         let hs = c / heads;
         let mut out = vec![0.0f32; t * c];
         for i in 0..t {
@@ -296,7 +311,9 @@ impl Graph {
                         }
                     }
                 }
-                vec![Some(Tensor::from_vec(vec![heads, t, hs], dx).expect("shape"))]
+                vec![Some(
+                    Tensor::from_vec(vec![heads, t, hs], dx).expect("shape"),
+                )]
             })),
             None,
         )
@@ -304,7 +321,12 @@ impl Graph {
 }
 
 fn rank3(t: &Tensor, op: &str) -> (usize, usize, usize) {
-    assert_eq!(t.rank(), 3, "{op} requires a rank-3 tensor, got rank {}", t.rank());
+    assert_eq!(
+        t.rank(),
+        3,
+        "{op} requires a rank-3 tensor, got rank {}",
+        t.rank()
+    );
     (t.shape()[0], t.shape()[1], t.shape()[2])
 }
 
@@ -316,7 +338,12 @@ fn slice3(t: &Tensor, s: usize, r: usize, c: usize) -> Tensor {
 /// Derives a distinct seed per batch slice from the config's existing
 /// stream (keeps slices decorrelated without global state).
 fn slice_seed(cfg: &mpt_arith::QGemmConfig, s: usize) -> u64 {
-    cfg.mac.acc.rng().seed().wrapping_mul(0x9E37_79B9).wrapping_add(s as u64 + 1)
+    cfg.mac
+        .acc
+        .rng()
+        .seed()
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(s as u64 + 1)
 }
 
 #[cfg(test)]

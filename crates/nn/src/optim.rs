@@ -100,10 +100,8 @@ impl Optimizer for Sgd {
                         let base = self.step_count.wrapping_mul(0x5851_F42D)
                             ^ (key as u64).rotate_left(17);
                         let wq = q.quantize_f32(*w, base.wrapping_add(idx as u64 * 3));
-                        let step = q.quantize_f32(
-                            self.lr * *vel,
-                            base.wrapping_add(idx as u64 * 3 + 1),
-                        );
+                        let step =
+                            q.quantize_f32(self.lr * *vel, base.wrapping_add(idx as u64 * 3 + 1));
                         *w = q.quantize_f32(wq - step, base.wrapping_add(idx as u64 * 3 + 2));
                     }
                 }
@@ -193,11 +191,9 @@ impl Optimizer for Adam {
                 match &self.update_quant {
                     None => *w -= step,
                     Some(q) => {
-                        let base = self.t.wrapping_mul(0x2545_F491)
-                            ^ (key as u64).rotate_left(23);
+                        let base = self.t.wrapping_mul(0x2545_F491) ^ (key as u64).rotate_left(23);
                         let wq = q.quantize_f32(*w, base.wrapping_add(idx as u64 * 3));
-                        let sq =
-                            q.quantize_f32(step, base.wrapping_add(idx as u64 * 3 + 1));
+                        let sq = q.quantize_f32(step, base.wrapping_add(idx as u64 * 3 + 1));
                         *w = q.quantize_f32(wq - sq, base.wrapping_add(idx as u64 * 3 + 2));
                     }
                 }
@@ -230,7 +226,7 @@ mod tests {
     fn sgd_plain_step() {
         let p = param_with_grad(vec![1.0, 2.0], vec![0.5, -0.5]);
         let mut opt = Sgd::new(0.1, 0.0, 0.0);
-        opt.step(&[p.clone()]);
+        opt.step(std::slice::from_ref(&p));
         assert_eq!(p.value().data(), &[0.95, 2.05]);
     }
 
@@ -238,8 +234,8 @@ mod tests {
     fn sgd_momentum_accumulates() {
         let p = param_with_grad(vec![0.0], vec![1.0]);
         let mut opt = Sgd::new(0.1, 0.9, 0.0);
-        opt.step(&[p.clone()]); // v=1,   w=-0.1
-        opt.step(&[p.clone()]); // v=1.9, w=-0.29
+        opt.step(std::slice::from_ref(&p)); // v=1,   w=-0.1
+        opt.step(std::slice::from_ref(&p)); // v=1.9, w=-0.29
         assert!((p.value().data()[0] + 0.29).abs() < 1e-6);
     }
 
@@ -247,7 +243,7 @@ mod tests {
     fn sgd_weight_decay_pulls_to_zero() {
         let p = param_with_grad(vec![10.0], vec![0.0]);
         let mut opt = Sgd::new(0.1, 0.0, 0.1);
-        opt.step(&[p.clone()]);
+        opt.step(std::slice::from_ref(&p));
         assert!((p.value().data()[0] - 9.9).abs() < 1e-6);
     }
 
@@ -256,7 +252,7 @@ mod tests {
         let q = Quantizer::float(FloatFormat::e6m5(), Rounding::Nearest);
         let p = param_with_grad(vec![1.000001, -0.4999], vec![0.013, 0.027]);
         let mut opt = Sgd::new(0.1, 0.0, 0.0).with_update_quantizer(q);
-        opt.step(&[p.clone()]);
+        opt.step(std::slice::from_ref(&p));
         let fmt = FloatFormat::e6m5();
         for &w in p.value().data() {
             assert!(fmt.is_representable(w as f64), "{w} off-grid");
@@ -268,8 +264,12 @@ mod tests {
         // With bias correction, |step 1| == lr for any nonzero grad.
         let p = param_with_grad(vec![0.0], vec![0.123]);
         let mut opt = Adam::new(0.01);
-        opt.step(&[p.clone()]);
-        assert!((p.value().data()[0] + 0.01).abs() < 1e-4, "{}", p.value().data()[0]);
+        opt.step(std::slice::from_ref(&p));
+        assert!(
+            (p.value().data()[0] + 0.01).abs() < 1e-4,
+            "{}",
+            p.value().data()[0]
+        );
     }
 
     #[test]
@@ -281,7 +281,7 @@ mod tests {
             p.zero_grad();
             let w = p.value().data()[0];
             p.accumulate_grad(&Tensor::from_vec(vec![1], vec![2.0 * (w - 3.0)]).unwrap());
-            opt.step(&[p.clone()]);
+            opt.step(std::slice::from_ref(&p));
         }
         assert!((p.value().data()[0] - 3.0).abs() < 0.05);
     }
@@ -290,7 +290,7 @@ mod tests {
     fn zero_grads_clears() {
         let p = param_with_grad(vec![0.0], vec![1.0]);
         let mut opt = Sgd::new(0.1, 0.0, 0.0);
-        opt.zero_grads(&[p.clone()]);
+        opt.zero_grads(std::slice::from_ref(&p));
         assert_eq!(p.grad().data(), &[0.0]);
     }
 

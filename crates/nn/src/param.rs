@@ -94,7 +94,9 @@ impl Parameter {
     ///
     /// Panics if `delta`'s shape differs from the parameter's.
     pub fn accumulate_grad(&self, delta: &Tensor) {
-        self.grad_mut().add_assign(delta).expect("gradient shape matches parameter");
+        self.grad_mut()
+            .add_assign(delta)
+            .expect("gradient shape matches parameter");
     }
 
     /// Resets the gradient to zero.
@@ -124,7 +126,12 @@ impl Parameter {
 
 impl fmt::Debug for Parameter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Parameter({}, shape={:?})", self.name, self.value().shape())
+        write!(
+            f,
+            "Parameter({}, shape={:?})",
+            self.name,
+            self.value().shape()
+        )
     }
 }
 

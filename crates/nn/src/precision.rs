@@ -86,10 +86,7 @@ mod tests {
     fn uniform_and_split() {
         let u = GemmPrecision::fp32();
         assert_eq!(u.fwd, u.bwd);
-        let s = GemmPrecision::split(
-            QGemmConfig::fp8_fp12_sr(),
-            QGemmConfig::fp32(),
-        );
+        let s = GemmPrecision::split(QGemmConfig::fp8_fp12_sr(), QGemmConfig::fp32());
         assert_ne!(s.fwd, s.bwd);
     }
 

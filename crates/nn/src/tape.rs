@@ -140,7 +140,11 @@ impl Graph {
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.values.push(value);
-        self.nodes.push(Node { parents, backward, param });
+        self.nodes.push(Node {
+            parents,
+            backward,
+            param,
+        });
         id
     }
 
@@ -169,17 +173,20 @@ impl Graph {
                 p.accumulate_grad(&g);
             }
             if let Some(backward) = &node.backward {
-                let inputs: Vec<&Tensor> =
-                    node.parents.iter().map(|p| &self.values[p.0]).collect();
-                let args = BackwardArgs { grad: &g, inputs, output: &self.values[i] };
+                let inputs: Vec<&Tensor> = node.parents.iter().map(|p| &self.values[p.0]).collect();
+                let args = BackwardArgs {
+                    grad: &g,
+                    inputs,
+                    output: &self.values[i],
+                };
                 let parent_grads = backward(&args);
                 debug_assert_eq!(parent_grads.len(), node.parents.len());
                 for (pid, pg) in node.parents.clone().into_iter().zip(parent_grads) {
                     if let Some(pg) = pg {
                         match &mut grads[pid.0] {
-                            Some(existing) => existing
-                                .add_assign(&pg)
-                                .expect("gradient shapes agree"),
+                            Some(existing) => {
+                                existing.add_assign(&pg).expect("gradient shapes agree")
+                            }
                             slot @ None => *slot = Some(pg),
                         }
                     }
@@ -193,7 +200,12 @@ impl Graph {
 
 impl std::fmt::Debug for Graph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Graph({} nodes, training={})", self.nodes.len(), self.training)
+        write!(
+            f,
+            "Graph({} nodes, training={})",
+            self.nodes.len(),
+            self.training
+        )
     }
 }
 

@@ -102,7 +102,11 @@ impl Conv2dGeometry {
 /// disagrees with `geom`.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, ShapeError> {
     if input.rank() != 4 {
-        return Err(ShapeError::Rank { expected: 4, actual: input.rank(), op: "im2col" });
+        return Err(ShapeError::Rank {
+            expected: 4,
+            actual: input.rank(),
+            op: "im2col",
+        });
     }
     let (n, c, h, w) = (
         input.shape()[0],
@@ -137,8 +141,8 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, ShapeErro
                                 continue;
                             }
                             let col = img * geom.out_pixels() + oy * geom.out_w + ox;
-                            out[row * cols + col] = data
-                                [((img * c + ch) * h + iy as usize) * w + ix as usize];
+                            out[row * cols + col] =
+                                data[((img * c + ch) * h + iy as usize) * w + ix as usize];
                         }
                     }
                 }
@@ -242,11 +246,8 @@ mod tests {
     fn im2col_known_3x3() {
         // Single 3x3 image, 2x2 kernel, stride 1, no padding:
         // 4 output pixels, 4 rows.
-        let input = Tensor::from_vec(
-            vec![1, 1, 3, 3],
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
         let g = Conv2dGeometry::new(3, 3, 2, 2, 1, 0).unwrap();
         let cols = im2col(&input, &g).unwrap();
         assert_eq!(cols.shape(), &[4, 4]);
@@ -289,19 +290,21 @@ mod tests {
                                 for kw in 0..3 {
                                     let iy = oy as isize + kh as isize - 1;
                                     let ix = ox as isize + kw as isize - 1;
-                                    if iy < 0 || iy >= 5 || ix < 0 || ix >= 5 {
+                                    if !(0..5).contains(&iy) || !(0..5).contains(&ix) {
                                         continue;
                                     }
                                     let wv = weights.at(&[o, (ch * 3 + kh) * 3 + kw]);
-                                    let iv =
-                                        input.at(&[img, ch, iy as usize, ix as usize]);
+                                    let iv = input.at(&[img, ch, iy as usize, ix as usize]);
                                     acc += wv * iv;
                                 }
                             }
                         }
                         let col = img * g.out_pixels() + oy * g.out_w + ox;
                         let got = out.at(&[o, col]);
-                        assert!((got - acc).abs() < 1e-3, "({img},{o},{oy},{ox}): {got} vs {acc}");
+                        assert!(
+                            (got - acc).abs() < 1e-3,
+                            "({img},{o},{oy},{ox}): {got} vs {acc}"
+                        );
                     }
                 }
             }
@@ -330,7 +333,10 @@ mod tests {
             .zip(folded.data())
             .map(|(&a, &b)| (a as f64) * (b as f64))
             .sum();
-        assert!((lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

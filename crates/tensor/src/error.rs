@@ -46,7 +46,11 @@ impl fmt::Display for ShapeError {
             ShapeError::Mismatch { left, right, op } => {
                 write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
             }
-            ShapeError::Rank { expected, actual, op } => {
+            ShapeError::Rank {
+                expected,
+                actual,
+                op,
+            } => {
                 write!(f, "{op} requires rank {expected}, got rank {actual}")
             }
             ShapeError::Geometry(msg) => write!(f, "invalid geometry: {msg}"),
@@ -68,7 +72,11 @@ mod tests {
             op: "matmul",
         };
         assert!(e.to_string().contains("matmul"));
-        let e = ShapeError::Rank { expected: 2, actual: 4, op: "matmul" };
+        let e = ShapeError::Rank {
+            expected: 2,
+            actual: 4,
+            op: "matmul",
+        };
         assert!(e.to_string().contains("rank 2"));
     }
 

@@ -6,8 +6,11 @@ use crate::tensor::Tensor;
 impl Tensor {
     /// Applies `f` to each element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.shape().to_vec(), self.data().iter().map(|&v| f(v)).collect())
-            .expect("shape preserved")
+        Tensor::from_vec(
+            self.shape().to_vec(),
+            self.data().iter().map(|&v| f(v)).collect(),
+        )
+        .expect("shape preserved")
     }
 
     /// Applies `f` to each element in place.
@@ -22,7 +25,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`ShapeError::Mismatch`] if the shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, ShapeError> {
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, ShapeError> {
         if self.shape() != other.shape() {
             return Err(ShapeError::Mismatch {
                 left: self.shape().to_vec(),
@@ -108,7 +115,10 @@ impl Tensor {
 
     /// Maximum element (`-inf` for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (`+inf` for empty tensors).
@@ -136,8 +146,9 @@ impl Tensor {
         let (r, c) = self.as_matrix()?;
         let mut out = vec![0.0f32; c];
         for i in 0..r {
-            for j in 0..c {
-                out[j] += self.data()[i * c + j];
+            let row = &self.data()[i * c..(i + 1) * c];
+            for (acc, &v) in out.iter_mut().zip(row) {
+                *acc += v;
             }
         }
         Tensor::from_vec(vec![c], out)

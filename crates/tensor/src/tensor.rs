@@ -34,7 +34,10 @@ impl Tensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, ShapeError> {
         let numel: usize = shape.iter().product();
         if numel != data.len() {
-            return Err(ShapeError::DataLength { shape, len: data.len() });
+            return Err(ShapeError::DataLength {
+                shape,
+                len: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -42,7 +45,10 @@ impl Tensor {
     /// Creates a tensor of zeros.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let numel = shape.iter().product();
-        Tensor { shape, data: vec![0.0; numel] }
+        Tensor {
+            shape,
+            data: vec![0.0; numel],
+        }
     }
 
     /// Creates a tensor of ones.
@@ -53,12 +59,18 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Vec<usize>, value: f32) -> Self {
         let numel = shape.iter().product();
-        Tensor { shape, data: vec![value; numel] }
+        Tensor {
+            shape,
+            data: vec![value; numel],
+        }
     }
 
     /// Creates a rank-0 scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: vec![], data: vec![value] }
+        Tensor {
+            shape: vec![],
+            data: vec![value],
+        }
     }
 
     /// Creates an `n × n` identity matrix.
@@ -73,7 +85,10 @@ impl Tensor {
     /// Creates a tensor by evaluating `f` at each flat index.
     pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(usize) -> f32) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor { shape, data: (0..numel).map(&mut f).collect() }
+        Tensor {
+            shape,
+            data: (0..numel).map(&mut f).collect(),
+        }
     }
 
     /// The tensor's shape.
@@ -112,7 +127,12 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
@@ -160,9 +180,15 @@ impl Tensor {
     pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor, ShapeError> {
         let numel: usize = shape.iter().product();
         if numel != self.numel() {
-            return Err(ShapeError::DataLength { shape, len: self.numel() });
+            return Err(ShapeError::DataLength {
+                shape,
+                len: self.numel(),
+            });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Interprets the tensor as a 2-D matrix `(rows, cols)`.
@@ -172,7 +198,11 @@ impl Tensor {
     /// Returns [`ShapeError::Rank`] unless the tensor is rank 2.
     pub fn as_matrix(&self) -> Result<(usize, usize), ShapeError> {
         if self.rank() != 2 {
-            return Err(ShapeError::Rank { expected: 2, actual: self.rank(), op: "as_matrix" });
+            return Err(ShapeError::Rank {
+                expected: 2,
+                actual: self.rank(),
+                op: "as_matrix",
+            });
         }
         Ok((self.shape[0], self.shape[1]))
     }
@@ -246,7 +276,10 @@ impl Tensor {
         for b in blocks {
             data.extend_from_slice(&b.data);
         }
-        Ok(Tensor { shape: vec![rows, cols], data })
+        Ok(Tensor {
+            shape: vec![rows, cols],
+            data,
+        })
     }
 
     /// Zero-pads a 2-D tensor to `(rows, cols)` (bottom/right).
@@ -284,8 +317,7 @@ impl Tensor {
         }
         let mut out = Tensor::zeros(vec![rows, cols]);
         for i in 0..rows {
-            out.data[i * cols..(i + 1) * cols]
-                .copy_from_slice(&self.data[i * c..i * c + cols]);
+            out.data[i * cols..(i + 1) * cols].copy_from_slice(&self.data[i * c..i * c + cols]);
         }
         Ok(out)
     }

@@ -51,9 +51,17 @@ fn main() {
         100.0 * (choice.measured_s - choice.estimated_s) / choice.estimated_s
     );
 
-    println!("\ncore-count sweep on the chosen array ({}x{}):", choice.config.n(), choice.config.m());
+    println!(
+        "\ncore-count sweep on the chosen array ({}x{}):",
+        choice.config.n(),
+        choice.config.m()
+    );
     for (c, f, lat) in sweep_core_counts(&workload, &db, choice.config.n(), choice.config.m(), 8) {
-        let marker = if c == choice.config.c() { "  <= selected" } else { "" };
+        let marker = if c == choice.config.c() {
+            "  <= selected"
+        } else {
+            ""
+        };
         println!("  C={c:<2} {f:>6.1} MHz  {lat:.4} s{marker}");
     }
 

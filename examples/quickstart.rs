@@ -15,10 +15,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Quantize a value into the paper's formats.
     let x = 1.2345f32;
     for (name, q) in [
-        ("E5M2-RN (FP8)", Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest)),
-        ("E6M5-RN (FP12)", Quantizer::float(FloatFormat::e6m5(), Rounding::Nearest)),
-        ("E6M5-SR (FP12)", Quantizer::float(FloatFormat::e6m5(), Rounding::stochastic())),
-        ("E5M10-RN (FP16)", Quantizer::float(FloatFormat::e5m10(), Rounding::Nearest)),
+        (
+            "E5M2-RN (FP8)",
+            Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest),
+        ),
+        (
+            "E6M5-RN (FP12)",
+            Quantizer::float(FloatFormat::e6m5(), Rounding::Nearest),
+        ),
+        (
+            "E6M5-SR (FP12)",
+            Quantizer::float(FloatFormat::e6m5(), Rounding::stochastic()),
+        ),
+        (
+            "E5M10-RN (FP16)",
+            Quantizer::float(FloatFormat::e5m10(), Rounding::Nearest),
+        ),
     ] {
         println!("{x} -> {name}: {}", q.quantize_f32(x, 0));
     }

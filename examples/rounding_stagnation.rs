@@ -26,10 +26,22 @@ fn main() {
     println!("{}", "-".repeat(54));
 
     for (label, mac) in [
-        ("E6M5-RZ  (FP12 truncate)", MacConfig::fp8_fp12(Rounding::TowardZero)),
-        ("E6M5-RO  (FP12 to-odd)", MacConfig::fp8_fp12(Rounding::ToOdd)),
-        ("E6M5-RN  (FP12 nearest)", MacConfig::fp8_fp12(Rounding::Nearest)),
-        ("E6M5-SR  (FP12 stochastic)", MacConfig::fp8_fp12(Rounding::stochastic()).with_seed(7)),
+        (
+            "E6M5-RZ  (FP12 truncate)",
+            MacConfig::fp8_fp12(Rounding::TowardZero),
+        ),
+        (
+            "E6M5-RO  (FP12 to-odd)",
+            MacConfig::fp8_fp12(Rounding::ToOdd),
+        ),
+        (
+            "E6M5-RN  (FP12 nearest)",
+            MacConfig::fp8_fp12(Rounding::Nearest),
+        ),
+        (
+            "E6M5-SR  (FP12 stochastic)",
+            MacConfig::fp8_fp12(Rounding::stochastic()).with_seed(7),
+        ),
         ("E5M10-RN (FP16 nearest)", MacConfig::fp8_fp16_rn()),
         ("E8M23-RN (FP32 baseline)", MacConfig::fp32()),
     ] {

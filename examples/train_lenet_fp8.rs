@@ -17,18 +17,29 @@ fn main() {
 
     for (label, prec) in [
         ("FP32 baseline (E8M23-RN)", GemmPrecision::fp32()),
-        ("FP8 x FP12-SR (paper config)", GemmPrecision::fp8_fp12_sr().with_seed(3)),
+        (
+            "FP8 x FP12-SR (paper config)",
+            GemmPrecision::fp8_fp12_sr().with_seed(3),
+        ),
     ] {
         let model = lenet5(prec, 5);
         println!("== {label} ==");
-        println!("  untrained accuracy: {:.2}%", evaluate_cnn(&model, &test, 32));
+        println!(
+            "  untrained accuracy: {:.2}%",
+            evaluate_cnn(&model, &test, 32)
+        );
         let mut opt = Sgd::new(0.02, 0.9, 0.0);
         let report = train_cnn(
             &model,
             &mut opt,
             &train,
             &test,
-            TrainConfig { epochs: 3, batch_size: 32, loss_scale: 256.0, seed: 0 },
+            TrainConfig {
+                epochs: 3,
+                batch_size: 32,
+                loss_scale: 256.0,
+                seed: 0,
+            },
         );
         for (e, loss) in report.epoch_losses.iter().enumerate() {
             println!("  epoch {e}: mean loss {loss:.4}");

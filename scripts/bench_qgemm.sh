@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the criterion `qgemm` benchmark group and assembles the raw
+# per-benchmark JSON lines into BENCH_qgemm.json, including the
+# before/after throughput comparison for the headline configuration
+# (128x96x96 fp8_fp12_sr: scalar reference kernel vs dispatched fast
+# kernel vs fast kernel on the persistent worker pool).
+#
+# Usage: scripts/bench_qgemm.sh [criterion-filter]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+MPT_BENCH_JSON="$raw" cargo bench -p mpt-bench --bench qgemm -- "${1:-}"
+
+if ! grep -q . "$raw"; then
+    echo "error: no benchmark matched filter '${1:-}'; BENCH_qgemm.json left untouched" >&2
+    exit 1
+fi
+
+python3 - "$raw" <<'EOF' > BENCH_qgemm.json
+import json, sys
+
+rows = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+by_id = {r["id"]: r for r in rows}
+
+def rate(bench_id):
+    r = by_id.get(bench_id)
+    return r["elem_per_s"] if r else None
+
+ref = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_reference")
+fast = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_fast")
+pool = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_fast_pool")
+
+out = {
+    "benchmarks": rows,
+    "headline_128x96x96_fp8_fp12_sr": {
+        "reference_elem_per_s": ref,
+        "fast_elem_per_s": fast,
+        "fast_pool_elem_per_s": pool,
+        "fast_speedup_vs_reference": (fast / ref) if ref and fast else None,
+        "pool_speedup_vs_reference": (pool / ref) if ref and pool else None,
+    },
+}
+json.dump(out, sys.stdout, indent=2)
+print()
+EOF
+
+echo "wrote BENCH_qgemm.json"
+python3 -c "
+import json
+h = json.load(open('BENCH_qgemm.json'))['headline_128x96x96_fp8_fp12_sr']
+if h['fast_speedup_vs_reference']:
+    print(f\"headline fp8_fp12_sr: fast {h['fast_speedup_vs_reference']:.2f}x vs reference,\"
+          f\" pool {h['pool_speedup_vs_reference']:.2f}x\")
+"

@@ -1,16 +1,21 @@
 //! End-to-end mixed-precision training across the full stack:
 //! datasets → models → tape → quantized GEMMs → optimizer → metrics.
 
+use mpt_arith::MacConfig;
 use mpt_arith::QGemmConfig;
 use mpt_core::trainer::{train_cnn, train_gpt, TrainConfig};
 use mpt_data::{synthetic_mnist, CharCorpus};
 use mpt_formats::Rounding;
-use mpt_arith::MacConfig;
 use mpt_models::{lenet5, NanoGpt, NanoGptConfig};
 use mpt_nn::{Adam, GemmPrecision, Layer, Sgd};
 
 fn cfg(epochs: usize) -> TrainConfig {
-    TrainConfig { epochs, batch_size: 32, loss_scale: 256.0, seed: 0 }
+    TrainConfig {
+        epochs,
+        batch_size: 32,
+        loss_scale: 256.0,
+        seed: 0,
+    }
 }
 
 #[test]
@@ -20,7 +25,11 @@ fn lenet_fp32_converges_on_easy_tier() {
     let model = lenet5(GemmPrecision::fp32(), 3);
     let mut opt = Sgd::new(0.02, 0.9, 0.0);
     let report = train_cnn(&model, &mut opt, &train, &test, cfg(3));
-    assert!(report.test_accuracy > 80.0, "FP32: {}", report.test_accuracy);
+    assert!(
+        report.test_accuracy > 80.0,
+        "FP32: {}",
+        report.test_accuracy
+    );
 }
 
 #[test]
@@ -31,7 +40,11 @@ fn lenet_fp8_sr_tracks_baseline() {
     let model = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(5), 3);
     let mut opt = Sgd::new(0.02, 0.9, 0.0);
     let report = train_cnn(&model, &mut opt, &train, &test, cfg(3));
-    assert!(report.test_accuracy > 70.0, "FP8xFP12-SR: {}", report.test_accuracy);
+    assert!(
+        report.test_accuracy > 70.0,
+        "FP8xFP12-SR: {}",
+        report.test_accuracy
+    );
 }
 
 #[test]
@@ -56,7 +69,13 @@ fn fxp_ro_fails_even_on_easy_tier() {
 fn gpt_fp32_loss_decreases() {
     let corpus = CharCorpus::synthetic(5000, 0);
     let model = NanoGpt::new(
-        NanoGptConfig { vocab: corpus.vocab_size(), layers: 1, heads: 2, embed: 16, block_size: 16 },
+        NanoGptConfig {
+            vocab: corpus.vocab_size(),
+            layers: 1,
+            heads: 2,
+            embed: 16,
+            block_size: 16,
+        },
         0.0,
         GemmPrecision::fp32(),
         2,
@@ -66,14 +85,23 @@ fn gpt_fp32_loss_decreases() {
     assert!(curve.len() >= 2);
     let first = curve[0].1;
     let last = curve.last().expect("non-empty").1;
-    assert!(last < first, "validation loss did not fall: {first} -> {last}");
+    assert!(
+        last < first,
+        "validation loss did not fall: {first} -> {last}"
+    );
 }
 
 #[test]
 fn gpt_fp8_sr_trains_without_overflowing() {
     let corpus = CharCorpus::synthetic(5000, 0);
     let model = NanoGpt::new(
-        NanoGptConfig { vocab: corpus.vocab_size(), layers: 1, heads: 2, embed: 16, block_size: 16 },
+        NanoGptConfig {
+            vocab: corpus.vocab_size(),
+            layers: 1,
+            heads: 2,
+            embed: 16,
+            block_size: 16,
+        },
         0.0,
         GemmPrecision::fp8_fp12_sr().with_seed(17),
         2,
@@ -97,7 +125,11 @@ fn quantized_weight_update_keeps_master_weights_on_grid() {
     let fmt = FloatFormat::e5m10();
     for p in model.parameters() {
         for &w in p.value().data() {
-            assert!(fmt.is_representable(w as f64), "{} holds off-grid {w}", p.name());
+            assert!(
+                fmt.is_representable(w as f64),
+                "{} holds off-grid {w}",
+                p.name()
+            );
         }
     }
 }

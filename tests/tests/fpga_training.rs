@@ -12,10 +12,7 @@ use std::rc::Rc;
 
 /// Runs `steps` identical training steps on the given backends and
 /// returns the final flattened parameter vectors.
-fn train_steps(
-    use_fpga: bool,
-    steps: usize,
-) -> (Vec<f32>, usize, f64) {
+fn train_steps(use_fpga: bool, steps: usize) -> (Vec<f32>, usize, f64) {
     let data = synthetic_mnist(32, 1);
     let prec = GemmPrecision::fp8_fp12_sr().with_seed(11);
     let model = lenet5(prec, 7);

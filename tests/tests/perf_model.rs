@@ -129,7 +129,10 @@ fn large_models_prefer_large_arrays() {
         .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
         .expect("non-empty")
         .0;
-    assert!(best_c < 10, "LeNet5 should have an interior optimum, got C={best_c}");
+    assert!(
+        best_c < 10,
+        "LeNet5 should have an interior optimum, got C={best_c}"
+    );
 }
 
 #[test]

@@ -1,10 +1,10 @@
 //! Workspace-level property tests: random problems through the whole
 //! emulation-vs-accelerator pipeline.
 
-use mpt_arith::{qgemm, MacConfig, QGemmConfig};
-use mpt_fpga::{best_mapping, Accelerator, PaddedGemm, SaConfig};
 use mpt_arith::GemmShape;
+use mpt_arith::{qgemm, MacConfig, QGemmConfig};
 use mpt_formats::Rounding;
+use mpt_fpga::{best_mapping, Accelerator, PaddedGemm, SaConfig};
 use mpt_tensor::Tensor;
 use proptest::prelude::*;
 

@@ -1,0 +1,393 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build container cannot reach a crates.io mirror, so the
+//! workspace vendors a small, dependency-free harness with the same
+//! surface: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Throughput::Elements`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Reporting is simpler than real criterion: each benchmark prints a
+//! single line with the mean wall-clock time per iteration (plus
+//! throughput when declared), and — when the `MPT_BENCH_JSON`
+//! environment variable names a file — appends one JSON object per
+//! benchmark to that file so scripts can collect machine-readable
+//! results.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (e.g. MACs for a GEMM).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered as
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the measured closure and accumulates timing samples.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`: warms up, then takes `sample_size` timed
+    /// samples, each batching enough iterations to be clock-robust.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, measuring the
+        // rough per-iteration cost to size sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let samples = self.config.sample_size.max(1) as u64;
+        let target_total = self.config.measurement_time.as_secs_f64().max(1e-3);
+        let iters_per_sample =
+            ((target_total / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            total_iters += iters_per_sample;
+        }
+        self.mean_secs = total.as_secs_f64() / total_iters.max(1) as f64;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional CLI args act as substring filters (matching the
+        // real harness); flags like `--bench` that cargo passes are
+        // ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            config: Config::default(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget split across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let name = self.qualified("", &id.id);
+        self.run_one(&name, None, f);
+    }
+
+    fn qualified(&self, group: &str, id: &str) -> String {
+        if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            config: &self.config,
+            mean_secs: 0.0,
+        };
+        f(&mut bencher);
+        report(name, bencher.mean_secs, throughput);
+    }
+}
+
+/// A named collection of benchmarks sharing throughput declarations.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count for this group (accepted for API
+    /// compatibility; applies to the whole run).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let name = self.criterion.qualified(&self.name, &id.id);
+        self.criterion
+            .run_one(&name, self.throughput, |b| f(b, input));
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let name = self.criterion.qualified(&self.name, &id.id);
+        self.criterion.run_one(&name, self.throughput, f);
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let time = format_secs(mean_secs);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / mean_secs.max(1e-12);
+            println!("{name:<48} {time:>12}/iter {:>14.3} Melem/s", rate / 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / mean_secs.max(1e-12);
+            println!(
+                "{name:<48} {time:>12}/iter {:>14.3} MiB/s",
+                rate / (1024.0 * 1024.0)
+            );
+        }
+        None => println!("{name:<48} {time:>12}/iter"),
+    }
+    if let Ok(path) = std::env::var("MPT_BENCH_JSON") {
+        if !path.is_empty() {
+            let elements = match throughput {
+                Some(Throughput::Elements(n)) => n,
+                _ => 0,
+            };
+            let line = format!(
+                "{{\"id\":\"{name}\",\"mean_ns\":{:.3},\"elements\":{elements},\"elem_per_s\":{:.3}}}\n",
+                mean_secs * 1e9,
+                if elements > 0 { elements as f64 / mean_secs.max(1e-12) } else { 0.0 },
+            );
+            if let Ok(mut fh) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = fh.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions plus its harness config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Config {
+        Config {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let config = fast_config();
+        let mut b = Bencher {
+            config: &config,
+            mean_secs: 0.0,
+        };
+        b.iter(|| black_box((0..100u64).sum::<u64>()));
+        assert!(b.mean_secs > 0.0);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            config: fast_config(),
+            filter: None,
+        };
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(100));
+            group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+                ran += 1;
+                b.iter(|| black_box((0..n).sum::<u64>()));
+            });
+            group.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            config: fast_config(),
+            filter: Some("nomatch".to_string()),
+        };
+        let mut ran = 0u32;
+        c.bench_function("something_else", |b| {
+            ran += 1;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert_eq!(ran, 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
