@@ -1,0 +1,139 @@
+//! Bit-exact digests of tensors and parameter sets.
+//!
+//! The training-replay layer compares trained weights *bit-for-bit*
+//! across thread counts, runs and machines. Digests are FNV-1a-64
+//! over the exact `f32` bit patterns (plus shapes and parameter
+//! names), so any single-ULP divergence anywhere in a model changes
+//! the digest.
+
+use mpt_nn::Parameter;
+use mpt_tensor::Tensor;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a-64 over a byte stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs the exact bit patterns of a slice of `f32` values.
+    pub fn update_f32s(&mut self, values: &[f32]) {
+        for v in values {
+            self.update(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Digest of one tensor: shape then element bit patterns.
+pub fn digest_tensor(t: &Tensor) -> u64 {
+    let mut h = Fnv1a::new();
+    for &d in t.shape() {
+        h.update(&(d as u64).to_le_bytes());
+    }
+    h.update_f32s(t.data());
+    h.finish()
+}
+
+/// Digest of a parameter set: per parameter, its name, shape and
+/// value bit patterns, in iteration order (which is the model's
+/// deterministic declaration order).
+pub fn digest_params(params: &[Parameter]) -> u64 {
+    let mut h = Fnv1a::new();
+    for p in params {
+        h.update(p.name().as_bytes());
+        let v = p.value();
+        for &d in v.shape() {
+            h.update(&(d as u64).to_le_bytes());
+        }
+        h.update_f32s(v.data());
+    }
+    h.finish()
+}
+
+/// Canonical 16-hex-digit rendering used by the golden files.
+pub fn hex_digest(d: u64) -> String {
+    format!("{d:016x}")
+}
+
+/// `true` when two tensors are equal *as bit patterns*: same shape
+/// and every element's `to_bits()` identical (distinguishes `-0.0`
+/// from `0.0` and NaN payloads, unlike `PartialEq`).
+pub fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Index and bit patterns of the first element where two same-shaped
+/// tensors diverge, for diagnostics.
+pub fn first_divergence(a: &Tensor, b: &Tensor) -> Option<(usize, u32, u32)> {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .enumerate()
+        .find(|(_, (x, y))| x.to_bits() != y.to_bits())
+        .map(|(i, (x, y))| (i, x.to_bits(), y.to_bits()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_bit_sensitive() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut b = a.clone();
+        b.data_mut()[3] = f32::from_bits(b.data()[3].to_bits() ^ 1); // one ULP
+        assert_ne!(digest_tensor(&a), digest_tensor(&b));
+    }
+
+    #[test]
+    fn digest_distinguishes_shapes() {
+        let a = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(vec![4, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_ne!(digest_tensor(&a), digest_tensor(&b));
+    }
+
+    #[test]
+    fn bits_equal_distinguishes_signed_zero() {
+        let a = Tensor::from_vec(vec![1], vec![0.0]).unwrap();
+        let b = Tensor::from_vec(vec![1], vec![-0.0]).unwrap();
+        assert_eq!(a, b, "PartialEq treats -0.0 == 0.0");
+        assert!(!bits_equal(&a, &b), "bits_equal must not");
+    }
+
+    #[test]
+    fn hex_digest_is_stable() {
+        // Pinned so golden files are portable between sessions.
+        let t = Tensor::from_vec(vec![2], vec![1.0, -1.0]).unwrap();
+        assert_eq!(hex_digest(digest_tensor(&t)), hex_digest(digest_tensor(&t)));
+        assert_eq!(hex_digest(0xdead_beef), "00000000deadbeef");
+    }
+}

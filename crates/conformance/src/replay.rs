@@ -1,0 +1,64 @@
+//! Deterministic end-to-end training replay.
+//!
+//! Trains the paper's LeNet-5 under the headline FP8×FP12-SR
+//! configuration on a tiny synthetic dataset, then digests the
+//! trained weights bit-for-bit. Because every source of randomness is
+//! seeded (init, shuffling, dropout, stochastic rounding) and every
+//! rounding event is indexed by logical coordinates, the digest must
+//! be identical across thread counts and across runs — and must match
+//! the golden file under `tests/golden/`.
+
+use crate::digest::{digest_params, hex_digest};
+use mpt_arith::{CpuBackend, GemmBackend};
+use mpt_core::{train_cnn_with_backend, TrainConfig, TrainReport};
+use mpt_data::synthetic_mnist;
+use mpt_models::lenet5;
+use mpt_nn::{GemmPrecision, Layer, Sgd};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Thread counts the replay suite pins the GEMM pool to.
+pub const REPLAY_THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Result of one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Hex digest of all trained parameters (names, shapes, bits).
+    pub digest: String,
+    /// The training report (losses must be finite).
+    pub report: TrainReport,
+}
+
+/// Trains LeNet-5 for a fixed tiny schedule with the GEMM backend
+/// pinned to `threads` workers, and digests the resulting weights.
+///
+/// Dataset, model init, shuffling, dropout and stochastic-rounding
+/// seeds are all fixed constants, so two invocations differ **only**
+/// in how GEMM tiles are scheduled across threads — which must not
+/// change a single bit.
+pub fn replay_lenet(threads: usize) -> ReplayOutcome {
+    let train = synthetic_mnist(16, 11);
+    let test = synthetic_mnist(8, 12);
+    let model = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(5), 7);
+    let mut opt = Sgd::new(0.05, 0.9, 0.0);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        loss_scale: 256.0,
+        seed: 3,
+    };
+    let backend: Rc<dyn GemmBackend> = Rc::new(CpuBackend::with_threads(threads));
+    let report = train_cnn_with_backend(&model, &mut opt, &train, &test, cfg, backend);
+    let digest = hex_digest(digest_params(&model.parameters()));
+    ReplayOutcome { digest, report }
+}
+
+/// Path of the checked-in golden digest for [`replay_lenet`].
+///
+/// Golden digests depend on the platform's `libm` (`exp`/`ln` inside
+/// cross-entropy are not specified bit-exactly across C libraries);
+/// they are regenerated with `scripts/regen_golden.sh` when the
+/// training recipe — or the platform baseline — changes.
+pub fn replay_digest_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/lenet_fp8_replay.digest")
+}

@@ -1,0 +1,90 @@
+//! End-to-end pinning of the `Quantizer::is_identity` passthrough
+//! convention (see the "Contract" section on
+//! `mpt_formats::Quantizer::is_identity`).
+//!
+//! An identity pipeline (`QGemmConfig::fp32()`) must equal the plain
+//! `Tensor::matmul` **bit-for-bit on every execution path**, even on
+//! operands containing values a scalar E8M23 quantization would
+//! saturate (±∞) or flush (subnormals). The unit tests in
+//! `mpt_formats::quant` pin the scalar/slice divergence; this suite
+//! pins the consequence the GEMM stack relies on.
+
+use conformance::check_all_paths;
+use conformance::Corpus;
+use mpt_arith::{qgemm, qgemm_parallel, QGemmConfig};
+use mpt_formats::{FloatFormat, Quantizer, Rounding};
+use mpt_tensor::Tensor;
+
+#[test]
+fn fp32_pipeline_is_plain_matmul_bit_for_bit() {
+    let mut corpus = Corpus::new(0x1d);
+    for &(n, k, m) in &[(7usize, 9usize, 5usize), (16, 8, 12), (1, 1, 1)] {
+        let a = corpus.matrix(n, k, -3.0, 3.0);
+        let b = corpus.matrix(k, m, -3.0, 3.0);
+        let plain = a.matmul(&b).expect("matmul");
+        let cfg = QGemmConfig::fp32();
+        let q = qgemm(&a, &b, &cfg).expect("qgemm");
+        let qp = qgemm_parallel(&a, &b, &cfg, 4).expect("qgemm_parallel");
+        let plain_bits: Vec<u32> = plain.data().iter().map(|v| v.to_bits()).collect();
+        let q_bits: Vec<u32> = q.data().iter().map(|v| v.to_bits()).collect();
+        let qp_bits: Vec<u32> = qp.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(q_bits, plain_bits, "[{n}x{k}x{m}] qgemm != plain matmul");
+        assert_eq!(
+            qp_bits, plain_bits,
+            "[{n}x{k}x{m}] qgemm_parallel != plain matmul"
+        );
+    }
+}
+
+/// Operands holding ±∞ and subnormals: the identity pipeline must
+/// pass them through untouched (a scalar E8M23 quantization would
+/// saturate the infinities to ±`f32::MAX` and change the result).
+#[test]
+fn identity_passthrough_preserves_non_finite_operands() {
+    let a = Tensor::from_vec(
+        vec![2, 3],
+        vec![
+            f32::INFINITY,
+            1.0,
+            -2.0,
+            f32::NEG_INFINITY,
+            f32::from_bits(0x0000_0001), // smallest positive subnormal
+            0.5,
+        ],
+    )
+    .expect("shape");
+    let b = Tensor::from_vec(vec![3, 2], vec![1.0, 0.0, 0.0, 1.0, 2.0, -1.0]).expect("shape");
+    let plain = a.matmul(&b).expect("matmul");
+    assert!(
+        plain.data().iter().any(|v| v.is_infinite()),
+        "test operands must actually produce infinities"
+    );
+    let cfg = QGemmConfig::fp32();
+    let q = qgemm(&a, &b, &cfg).expect("qgemm");
+    let plain_bits: Vec<u32> = plain.data().iter().map(|v| v.to_bits()).collect();
+    let q_bits: Vec<u32> = q.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        q_bits, plain_bits,
+        "identity pipeline altered non-finite operands"
+    );
+}
+
+/// The subnormal-flushing E8M23 variant still counts as identity (the
+/// contract documents this deliberately), so the whole differential
+/// stack must treat it as a passthrough too.
+#[test]
+fn flushing_e8m23_variant_is_still_identity_on_every_path() {
+    let q = Quantizer::new(
+        FloatFormat::e8m23().without_subnormals(),
+        Rounding::TowardZero,
+    );
+    assert!(
+        q.is_identity(),
+        "contract: f32-superset formats are identity"
+    );
+    let cfg = QGemmConfig::new(q, q, QGemmConfig::fp32().mac);
+    let mut corpus = Corpus::new(0x1e);
+    let a = corpus.matrix(6, 11, -2.0, 2.0);
+    let b = corpus.matrix(11, 4, -2.0, 2.0);
+    check_all_paths("flushing-e8m23-identity", &a, &b, &cfg).unwrap_or_else(|e| panic!("{e}"));
+}

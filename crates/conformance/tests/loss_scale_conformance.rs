@@ -1,0 +1,102 @@
+//! Conformance coverage for adaptive loss scaling
+//! (`mpt_nn::AdaptiveLossScaler`), pinning the paper's recipe:
+//! initial scale 256, backoff ×0.5 on overflow with a floor of 1,
+//! growth ×2 after exactly 200 consecutive good steps.
+
+use mpt_nn::{AdaptiveLossScaler, Graph, Parameter};
+use mpt_tensor::Tensor;
+
+fn param_with_grad(grad: Vec<f32>) -> Parameter {
+    let n = grad.len();
+    let p = Parameter::new("p", Tensor::zeros(vec![n]));
+    p.accumulate_grad(&Tensor::from_vec(vec![n], grad).expect("shape"));
+    p
+}
+
+#[test]
+fn initial_scale_matches_paper() {
+    // Section V-A: "adaptive loss scaling with an initial scaling
+    // factor of 256".
+    assert_eq!(AdaptiveLossScaler::new().scale(), 256.0);
+    assert_eq!(AdaptiveLossScaler::default().scale(), 256.0);
+}
+
+#[test]
+fn backoff_halves_down_to_floor_of_one() {
+    let mut s = AdaptiveLossScaler::new();
+    let mut expected = 256.0f32;
+    // 256 → 128 → … → 1, then pinned at the floor.
+    for i in 0..12u64 {
+        let bad = param_with_grad(vec![f32::INFINITY]);
+        assert!(!s.unscale_or_skip(&[bad]));
+        expected = (expected * 0.5).max(1.0);
+        assert_eq!(s.scale(), expected, "after overflow #{}", i + 1);
+        assert_eq!(s.overflow_count(), i + 1);
+    }
+    assert_eq!(s.scale(), 1.0);
+}
+
+#[test]
+fn growth_interval_is_exactly_200() {
+    let mut s = AdaptiveLossScaler::with_scale(64.0);
+    for step in 0..199 {
+        let p = param_with_grad(vec![1.0]);
+        assert!(s.unscale_or_skip(&[p]));
+        assert_eq!(s.scale(), 64.0, "grew early at step {}", step + 1);
+    }
+    let p = param_with_grad(vec![1.0]);
+    assert!(s.unscale_or_skip(&[p]));
+    assert_eq!(s.scale(), 128.0, "200th good step must double the scale");
+}
+
+#[test]
+fn unscale_divides_by_the_current_scale() {
+    let mut s = AdaptiveLossScaler::with_scale(32.0);
+    let p = param_with_grad(vec![64.0, -8.0, 0.0]);
+    assert!(s.unscale_or_skip(std::slice::from_ref(&p)));
+    assert_eq!(p.grad().data(), &[2.0, -0.25, 0.0]);
+}
+
+#[test]
+fn overflow_skips_step_and_zeroes_every_parameter() {
+    let mut s = AdaptiveLossScaler::new();
+    let good = param_with_grad(vec![1.0, 2.0]);
+    let bad = param_with_grad(vec![f32::NAN]);
+    assert!(!s.unscale_or_skip(&[good.clone(), bad]));
+    // All parameters are zeroed, not just the overflowing one —
+    // partial updates would desynchronize momentum buffers.
+    assert_eq!(good.grad().data(), &[0.0, 0.0]);
+}
+
+/// End-to-end: the scale is the `seed` of `Graph::backward`, so the
+/// raw gradients come back multiplied by it and `unscale_or_skip`
+/// restores the true gradient bit-for-bit (both are exact powers of
+/// two, so the scaling round-trips exactly in f32).
+#[test]
+fn scaled_backward_round_trips_through_unscale() {
+    let w = Parameter::new(
+        "w",
+        Tensor::from_vec(vec![2], vec![0.5, -1.25]).expect("shape"),
+    );
+
+    // Reference gradient at scale 1.
+    let mut g = Graph::new(true);
+    let wid = g.param(&w);
+    let sq = g.mul(wid, wid);
+    let loss = g.mean_all(sq);
+    g.backward(loss, 1.0);
+    let reference: Vec<f32> = w.grad().data().to_vec();
+    w.zero_grad();
+
+    // Scaled backward + unscale.
+    let mut scaler = AdaptiveLossScaler::new();
+    let mut g = Graph::new(true);
+    let wid = g.param(&w);
+    let sq = g.mul(wid, wid);
+    let loss = g.mean_all(sq);
+    g.backward(loss, scaler.scale());
+    assert!(scaler.unscale_or_skip(std::slice::from_ref(&w)));
+    let unscaled: Vec<u32> = w.grad().data().iter().map(|v| v.to_bits()).collect();
+    let expected: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(unscaled, expected, "power-of-two scaling must round-trip");
+}

@@ -1,0 +1,88 @@
+//! Deterministic end-to-end training replay.
+//!
+//! Trains LeNet-5 under the headline FP8×FP12-SR pipeline on a tiny
+//! synthetic dataset and asserts the trained-weight digest is
+//! bit-identical across GEMM thread counts, across repeated runs, and
+//! against the checked-in golden digest.
+//!
+//! Regenerate the golden file with `scripts/regen_golden.sh` (which
+//! sets `MPT_REGEN_GOLDEN=1`) after intentional changes to the
+//! training recipe.
+
+use conformance::{replay_digest_path, replay_lenet, REPLAY_THREAD_COUNTS};
+use std::fs;
+
+/// One full replay per thread count, plus a repeat run — every digest
+/// must match, and every loss must be finite.
+#[test]
+fn replay_is_bit_identical_across_thread_counts_and_runs() {
+    let baseline = replay_lenet(REPLAY_THREAD_COUNTS[0]);
+    assert!(
+        baseline.report.epoch_losses.iter().all(|l| l.is_finite()),
+        "non-finite training loss: {:?}",
+        baseline.report.epoch_losses
+    );
+
+    for &threads in &REPLAY_THREAD_COUNTS[1..] {
+        let run = replay_lenet(threads);
+        assert_eq!(
+            run.digest, baseline.digest,
+            "weight digest diverged at {threads} threads \
+             (losses {:?} vs baseline {:?})",
+            run.report.epoch_losses, baseline.report.epoch_losses
+        );
+        assert_eq!(
+            run.report.epoch_losses, baseline.report.epoch_losses,
+            "per-epoch losses diverged at {threads} threads"
+        );
+    }
+
+    // Same thread count, fresh run: the persistent worker pool must
+    // not leak state between trainings.
+    let repeat = replay_lenet(REPLAY_THREAD_COUNTS[1]);
+    assert_eq!(
+        repeat.digest, baseline.digest,
+        "repeat run diverged — worker pool or global state leaked"
+    );
+
+    // CI matrix legs pin an extra thread count via the environment.
+    if let Ok(extra) = std::env::var("CONFORMANCE_THREADS") {
+        let threads: usize = extra.parse().expect("CONFORMANCE_THREADS is a number");
+        let run = replay_lenet(threads);
+        assert_eq!(
+            run.digest, baseline.digest,
+            "weight digest diverged at CONFORMANCE_THREADS={threads}"
+        );
+    }
+}
+
+/// The digest must match the golden file. Run with `MPT_REGEN_GOLDEN=1`
+/// (see `scripts/regen_golden.sh`) to rewrite it.
+#[test]
+fn replay_matches_golden_digest() {
+    let outcome = replay_lenet(1);
+    let path = replay_digest_path();
+    if std::env::var("MPT_REGEN_GOLDEN").is_ok() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        fs::write(&path, format!("{}\n", outcome.digest)).expect("write golden digest");
+        return;
+    }
+    let golden = fs::read_to_string(&path)
+        .unwrap_or_else(|e| {
+            panic!(
+                "missing golden digest {}: {e}\n\
+                 regenerate with scripts/regen_golden.sh",
+                path.display()
+            )
+        })
+        .trim()
+        .to_string();
+    assert_eq!(
+        outcome.digest,
+        golden,
+        "trained-weight digest diverged from golden file {}.\n\
+         If the training recipe changed intentionally (or the platform \
+         libm differs), regenerate with scripts/regen_golden.sh",
+        path.display()
+    );
+}

@@ -39,4 +39,7 @@ pub mod trainer;
 
 pub use device::Device;
 pub use matching::{select_accelerator, sweep_core_counts, MatchResult};
-pub use trainer::{evaluate_cnn, train_cnn, train_gpt, TrainConfig, TrainReport};
+pub use trainer::{
+    evaluate_cnn, evaluate_cnn_with_backend, train_cnn, train_cnn_with_backend, train_gpt,
+    TrainConfig, TrainReport,
+};

@@ -6,9 +6,11 @@
 //! an initial factor of 256, SGD with momentum (CNNs) or Adam
 //! (transformer), and test-set evaluation.
 
+use mpt_arith::{CpuBackend, GemmBackend};
 use mpt_data::{Batches, CharCorpus, ImageDataset};
 use mpt_models::NanoGpt;
 use mpt_nn::{AdaptiveLossScaler, Graph, Layer, Optimizer};
+use std::rc::Rc;
 
 /// Hyper-parameters of one CNN training run.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +61,31 @@ pub fn train_cnn(
     test: &ImageDataset,
     cfg: TrainConfig,
 ) -> TrainReport {
+    train_cnn_with_backend(
+        model,
+        optimizer,
+        train,
+        test,
+        cfg,
+        Rc::new(CpuBackend::new()),
+    )
+}
+
+/// [`train_cnn`] with an explicit GEMM execution backend.
+///
+/// Every graph built by the loop routes its GEMMs through `backend`
+/// (CPU emulation with a pinned thread count, or the FPGA simulator).
+/// Because all backends are bit-identical to the emulation kernel,
+/// the trained weights must not depend on this choice — the property
+/// the conformance replay suite enforces.
+pub fn train_cnn_with_backend(
+    model: &dyn Layer,
+    optimizer: &mut dyn Optimizer,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    cfg: TrainConfig,
+    backend: Rc<dyn GemmBackend>,
+) -> TrainReport {
     let params = model.parameters();
     let mut scaler = AdaptiveLossScaler::with_scale(cfg.loss_scale);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
@@ -69,7 +96,7 @@ pub fn train_cnn(
             for p in &params {
                 p.zero_grad();
             }
-            let mut g = Graph::new(true);
+            let mut g = Graph::with_backend(true, Rc::clone(&backend));
             let x = g.input(images);
             let logits = model.forward(&mut g, x);
             let loss = g.cross_entropy(logits, &labels);
@@ -91,17 +118,27 @@ pub fn train_cnn(
     }
     TrainReport {
         epoch_losses,
-        test_accuracy: evaluate_cnn(model, test, cfg.batch_size),
+        test_accuracy: evaluate_cnn_with_backend(model, test, cfg.batch_size, backend),
         overflows: scaler.overflow_count(),
     }
 }
 
 /// Test-set accuracy (percent) of a CNN classifier.
 pub fn evaluate_cnn(model: &dyn Layer, test: &ImageDataset, batch_size: usize) -> f32 {
+    evaluate_cnn_with_backend(model, test, batch_size, Rc::new(CpuBackend::new()))
+}
+
+/// [`evaluate_cnn`] with an explicit GEMM execution backend.
+pub fn evaluate_cnn_with_backend(
+    model: &dyn Layer,
+    test: &ImageDataset,
+    batch_size: usize,
+    backend: Rc<dyn GemmBackend>,
+) -> f32 {
     let mut correct = 0usize;
     let mut total = 0usize;
     for (images, labels) in Batches::new(test, batch_size, 0) {
-        let mut g = Graph::new(false);
+        let mut g = Graph::with_backend(false, Rc::clone(&backend));
         let x = g.input(images);
         let logits = model.forward(&mut g, x);
         let preds = g.value(logits).argmax_rows().expect("logits are a matrix");

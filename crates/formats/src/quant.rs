@@ -169,6 +169,29 @@ impl Quantizer {
     }
 
     /// `true` when this quantizer never changes an `f32` carrier.
+    ///
+    /// # Contract
+    ///
+    /// Identity quantizers are **skipped entirely** by every consumer:
+    /// [`quantize_slice`](Quantizer::quantize_slice),
+    /// [`quantize_slice_f32`](Quantizer::quantize_slice_f32) and the
+    /// GEMM kernels in `mpt-arith` pass the carrier through untouched
+    /// whenever this returns `true`. A quantizer is identity when its
+    /// rounding is [`Rounding::NoRound`] or its format is an `f32`
+    /// superset (`EeMm` with `e >= 8` and `m >= 23`).
+    ///
+    /// This is deliberately **not** the same as "the scalar
+    /// [`quantize_f32`](Quantizer::quantize_f32) is the identity
+    /// function". `E8M23` counts as identity even though its scalar
+    /// path saturates `±inf` to the largest finite value (formats
+    /// default to saturating overflow), and an
+    /// `e8m23().without_subnormals()` format — still an identity by
+    /// this predicate — would flush `f32` subnormals. The passthrough
+    /// convention wins so that the FP32 baseline equals a plain
+    /// `Tensor::matmul` bit-for-bit, infinities, subnormals and NaN
+    /// payloads included. Callers that need the scalar saturating
+    /// semantics must call `quantize_f32` explicitly instead of the
+    /// slice entry points.
     pub fn is_identity(&self) -> bool {
         matches!(self.rounding, Rounding::NoRound) || self.format.is_f32_superset()
     }
@@ -324,6 +347,81 @@ mod tests {
         assert!(NumberFormat::from(FloatFormat::e8m23()).is_f32_superset());
         assert!(!NumberFormat::from(FloatFormat::e5m10()).is_f32_superset());
         assert!(!NumberFormat::from(FixedFormat::fxp16_8()).is_f32_superset());
+    }
+
+    #[test]
+    fn identity_passthrough_preserves_infinity_where_scalar_saturates() {
+        // The is_identity contract: slice entry points pass carriers
+        // through untouched, while the scalar path saturates ±inf to
+        // E8M23's largest finite value (saturating overflow is the
+        // format default). Both behaviours are intentional; the
+        // passthrough convention keeps the FP32 GEMM baseline equal
+        // to a plain matmul.
+        let q = Quantizer::identity();
+        assert!(q.is_identity());
+
+        let mut vals = [f32::INFINITY, f32::NEG_INFINITY, 1.5];
+        q.quantize_slice_f32(&mut vals, 0);
+        assert_eq!(vals, [f32::INFINITY, f32::NEG_INFINITY, 1.5]);
+        let mut vals2 = [f32::INFINITY, f32::NEG_INFINITY];
+        q.quantize_slice(&mut vals2, 0);
+        assert_eq!(vals2, [f32::INFINITY, f32::NEG_INFINITY]);
+
+        // Scalar path on the very same quantizer: saturates.
+        let sat = q.quantize_f32(f32::INFINITY, 0);
+        assert_eq!(sat, f32::MAX, "E8M23 scalar quantization saturates +inf");
+        assert_eq!(q.quantize_f32(f32::NEG_INFINITY, 0), f32::MIN);
+    }
+
+    #[test]
+    fn identity_passthrough_preserves_subnormals_where_scalar_flushes() {
+        // e8m23().without_subnormals() is still is_identity (the
+        // predicate only inspects widths), so slice paths pass f32
+        // subnormals through — but the scalar path flushes them.
+        let q = Quantizer::float(
+            FloatFormat::e8m23().without_subnormals(),
+            Rounding::TowardZero,
+        );
+        assert!(q.is_identity());
+
+        let sub = f32::from_bits(0x0000_0001); // smallest positive subnormal
+        let mut vals = [sub, -sub];
+        q.quantize_slice_f32(&mut vals, 0);
+        assert_eq!(vals.map(f32::to_bits), [sub, -sub].map(f32::to_bits));
+
+        assert_eq!(
+            q.quantize_f32(sub, 0),
+            0.0,
+            "scalar path flushes f32 subnormals without subnormal support"
+        );
+    }
+
+    #[test]
+    fn identity_passthrough_preserves_nan_payloads() {
+        let q = Quantizer::identity();
+        let payload = f32::from_bits(0x7fc1_2345); // quiet NaN, nonzero payload
+        let mut vals = [payload];
+        q.quantize_slice_f32(&mut vals, 0);
+        assert_eq!(vals[0].to_bits(), 0x7fc1_2345);
+    }
+
+    #[test]
+    fn no_round_is_identity_for_every_family() {
+        assert!(Quantizer::float(FloatFormat::e5m2(), Rounding::NoRound).is_identity());
+        assert!(Quantizer::fixed(FixedFormat::fxp4_4(), Rounding::NoRound).is_identity());
+        assert!(Quantizer::new(BlockFpFormat::new(3, 4).unwrap(), Rounding::NoRound).is_identity());
+    }
+
+    #[test]
+    fn narrow_formats_are_not_identity() {
+        for q in [
+            Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest),
+            Quantizer::float(FloatFormat::bf16(), Rounding::Nearest), // E8M7: m < 23
+            Quantizer::fixed(FixedFormat::fxp16_8(), Rounding::Nearest),
+            Quantizer::new(BlockFpFormat::new(8, 4).unwrap(), Rounding::Nearest),
+        ] {
+            assert!(!q.is_identity(), "{q} must not be identity");
+        }
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! through the same [`mpt_arith::mac_step`] as CPU emulation —
 //! making the functional result **bitwise identical** to
 //! [`mpt_arith::qgemm`] (the paper's bit-level accuracy claim).
+//! Fully-identity pipelines are the one exception: CPU paths dispatch
+//! them to the plain FP32 GEMM, so the PEs step with the same
+//! separate product/sum roundings instead of the fused MAC.
 //!
 //! Cycle counting follows the schedule and adds the measured-world
 //! non-idealities the paper reports: PCIe throughput capped at ~80%
@@ -118,6 +121,11 @@ impl Accelerator {
             quant_b: mpt_formats::Quantizer::identity(),
             mac: cfg.mac,
         };
+        // A fully-identity pipeline is dispatched to the plain FP32
+        // GEMM (`Tensor::matmul`, separate product/sum roundings) on
+        // every CPU path; the PEs must use the same stepping, not the
+        // fused-MAC `mac_step`, to stay bit-identical.
+        let identity = cfg.is_identity();
 
         let mut out_rows: Vec<Tensor> = Vec::with_capacity(self.config.c());
         let mut worst_cycles = 0u64;
@@ -127,7 +135,7 @@ impl Accelerator {
             // Fabric: stage-3 padding during load.
             let a_core = slice.pad_to(padded.n_comp, padded.k_mem)?;
             let b_core = b_host.pad_to(padded.k_mem, padded.m_comp)?;
-            let (tile, cycles) = self.run_core(&a_core, &b_core, &core_cfg, row0);
+            let (tile, cycles) = self.run_core(&a_core, &b_core, &core_cfg, row0, identity);
             worst_cycles = worst_cycles.max(cycles);
             out_rows.push(tile.crop_to(padded.n_core, m)?);
         }
@@ -200,6 +208,7 @@ impl Accelerator {
         b: &Tensor,
         cfg: &QGemmConfig,
         row_offset: usize,
+        identity: bool,
     ) -> (Tensor, u64) {
         let (n_comp, k_mem) = a.as_matrix().expect("matrix");
         let (_, m_comp) = b.as_matrix().expect("matrix");
@@ -225,7 +234,18 @@ impl Accelerator {
                         for j in ct..ct + t_mac {
                             let acc = out.data()[i * m_comp + j];
                             let bv = b.data()[kk * m_comp + j];
-                            let v = mac_step(acc, av, bv, &cfg.mac, i + row_offset, j, kk);
+                            let v = if identity {
+                                // Plain FP32 PE: round the product and
+                                // the sum separately, with the same
+                                // zero-row skip as `Tensor::matmul`.
+                                if av == 0.0 {
+                                    acc
+                                } else {
+                                    acc + av * bv
+                                }
+                            } else {
+                                mac_step(acc, av, bv, &cfg.mac, i + row_offset, j, kk)
+                            };
                             out.data_mut()[i * m_comp + j] = v;
                         }
                     }

@@ -7,10 +7,17 @@
 //! [`strategy::Just`], `prop_oneof!`, `proptest::collection::vec`, and
 //! the `proptest!`/`prop_assert*` macros.
 //!
-//! Differences from real proptest are deliberate simplifications:
-//! cases are sampled (not shrunk on failure), and the random stream is
-//! a deterministic function of the test's module path and name plus
-//! the `PROPTEST_SEED` environment variable — so failures reproduce
+//! Failing cases **shrink**: every strategy builds a
+//! [`strategy::ValueTree`] and the runner walks it with
+//! `simplify`/`complicate` (binary search toward the range start,
+//! length-then-element reduction for vectors, component-at-a-time for
+//! tuples) until the minimal failing input is found or
+//! [`test_runner::ProptestConfig::max_shrink_iters`] is exhausted.
+//! Deliberate simplifications remain: `prop_flat_map` and `any::<T>()`
+//! values shrink as opaque leaves, and numeric ranges shrink toward
+//! their start rather than toward zero. The random stream is a
+//! deterministic function of the test's module path and name plus the
+//! `PROPTEST_SEED` environment variable — so failures reproduce
 //! exactly on re-run.
 
 #![forbid(unsafe_code)]
@@ -18,17 +25,27 @@
 pub mod test_runner {
     //! Test configuration, error type and the deterministic RNG.
 
-    /// Per-test configuration. Only `cases` is honoured.
+    /// Default ceiling on shrink iterations per failing case.
+    pub const DEFAULT_MAX_SHRINK_ITERS: u32 = 1024;
+
+    /// Per-test configuration. `cases` and `max_shrink_iters` are
+    /// honoured.
     #[derive(Debug, Clone)]
     pub struct ProptestConfig {
         /// Number of random cases each property runs.
         pub cases: u32,
+        /// Ceiling on `simplify`/`complicate` steps when shrinking a
+        /// failing case.
+        pub max_shrink_iters: u32,
     }
 
     impl ProptestConfig {
         /// A config running `cases` random cases.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases,
+                max_shrink_iters: DEFAULT_MAX_SHRINK_ITERS,
+            }
         }
     }
 
@@ -39,7 +56,10 @@ pub mod test_runner {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(64);
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases,
+                max_shrink_iters: DEFAULT_MAX_SHRINK_ITERS,
+            }
         }
     }
 
@@ -111,20 +131,51 @@ pub mod test_runner {
 }
 
 pub mod strategy {
-    //! Value-generation strategies.
+    //! Value-generation strategies and their shrink trees.
 
     use crate::test_runner::TestRng;
 
-    /// A recipe for generating values of an associated type.
+    /// One sampled value plus the machinery to walk it toward a
+    /// minimal failing input.
     ///
-    /// Unlike real proptest there is no shrinking: `sample` draws one
-    /// value directly.
+    /// The runner calls [`simplify`](ValueTree::simplify) while the
+    /// case keeps failing and [`complicate`](ValueTree::complicate)
+    /// when a simplification made it pass; both return `false` once no
+    /// further moves exist. After `complicate` returns `true`,
+    /// [`current`](ValueTree::current) is again the last known failing
+    /// value.
+    pub trait ValueTree {
+        /// The type of the carried value.
+        type Value;
+
+        /// The value at the current shrink position.
+        fn current(&self) -> Self::Value;
+
+        /// Moves to a simpler value. Returns `false` when already
+        /// minimal.
+        fn simplify(&mut self) -> bool;
+
+        /// Backtracks toward the last failing value after a
+        /// simplification passed. Returns `false` when the search is
+        /// exhausted.
+        fn complicate(&mut self) -> bool;
+    }
+
+    /// A recipe for generating values of an associated type.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
-        /// Draws one value.
-        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+        /// Draws one value wrapped in its shrink tree.
+        fn new_tree<'a>(
+            &'a self,
+            rng: &mut TestRng,
+        ) -> Box<dyn ValueTree<Value = Self::Value> + 'a>;
+
+        /// Draws one value (no shrinking).
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            self.new_tree(rng).current()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<T, F>(self, f: F) -> Map<Self, F>
@@ -146,14 +197,64 @@ pub mod strategy {
         }
     }
 
+    /// A tree with no moves: the value is already minimal (or opaque
+    /// to shrinking, as for `prop_flat_map` and `any::<T>()`).
+    #[derive(Debug, Clone)]
+    pub struct LeafTree<T: Clone> {
+        value: T,
+    }
+
+    impl<T: Clone> LeafTree<T> {
+        /// Wraps `value` as an unshrinkable tree.
+        pub fn new(value: T) -> Self {
+            LeafTree { value }
+        }
+    }
+
+    impl<T: Clone> ValueTree for LeafTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+        fn simplify(&mut self) -> bool {
+            false
+        }
+        fn complicate(&mut self) -> bool {
+            false
+        }
+    }
+
+    /// Binary-search shrink state for numeric ranges: `curr` walks
+    /// toward `lo`; `complicate` turns the last passing midpoint into
+    /// the new lower bound so the search converges on the minimal
+    /// failing value.
+    #[derive(Debug, Clone)]
+    pub struct NumericTree<T> {
+        lo: T,
+        curr: T,
+        prev: T,
+        lo_is_pass: bool,
+    }
+
+    impl<T: Copy> NumericTree<T> {
+        fn new(lo: T, sampled: T) -> Self {
+            NumericTree {
+                lo,
+                curr: sampled,
+                prev: sampled,
+                lo_is_pass: false,
+            }
+        }
+    }
+
     /// Always yields a clone of one value.
     #[derive(Debug, Clone)]
     pub struct Just<T: Clone>(pub T);
 
     impl<T: Clone> Strategy for Just<T> {
         type Value = T;
-        fn sample(&self, _rng: &mut TestRng) -> T {
-            self.0.clone()
+        fn new_tree<'a>(&'a self, _rng: &mut TestRng) -> Box<dyn ValueTree<Value = T> + 'a> {
+            Box::new(LeafTree::new(self.0.clone()))
         }
     }
 
@@ -164,14 +265,40 @@ pub mod strategy {
         f: F,
     }
 
+    /// Shrink tree of [`Map`]: delegates every move to the inner tree
+    /// and re-applies the mapping on read.
+    pub struct MapTree<'a, V, F> {
+        inner: Box<dyn ValueTree<Value = V> + 'a>,
+        f: &'a F,
+    }
+
+    impl<'a, V, T, F> ValueTree for MapTree<'a, V, F>
+    where
+        F: Fn(V) -> T,
+    {
+        type Value = T;
+        fn current(&self) -> T {
+            (self.f)(self.inner.current())
+        }
+        fn simplify(&mut self) -> bool {
+            self.inner.simplify()
+        }
+        fn complicate(&mut self) -> bool {
+            self.inner.complicate()
+        }
+    }
+
     impl<S, F, T> Strategy for Map<S, F>
     where
         S: Strategy,
         F: Fn(S::Value) -> T,
     {
         type Value = T;
-        fn sample(&self, rng: &mut TestRng) -> T {
-            (self.f)(self.inner.sample(rng))
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T> + 'a> {
+            Box::new(MapTree {
+                inner: self.inner.new_tree(rng),
+                f: &self.f,
+            })
         }
     }
 
@@ -186,11 +313,17 @@ pub mod strategy {
     where
         S: Strategy,
         S2: Strategy,
+        S2::Value: Clone + 'static,
         F: Fn(S::Value) -> S2,
     {
         type Value = S2::Value;
-        fn sample(&self, rng: &mut TestRng) -> S2::Value {
-            (self.f)(self.inner.sample(rng)).sample(rng)
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S2::Value> + 'a> {
+            // The second-stage strategy is derived from the sampled
+            // first-stage value and owned by this call, so its tree
+            // cannot outlive the call: flat-mapped values shrink as
+            // opaque leaves.
+            let value = (self.f)(self.inner.sample(rng)).sample(rng);
+            Box::new(LeafTree::new(value))
         }
     }
 
@@ -214,29 +347,70 @@ pub mod strategy {
 
     impl<T> Strategy for Union<T> {
         type Value = T;
-        fn sample(&self, rng: &mut TestRng) -> T {
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T> + 'a> {
             let i = (rng.next_u64() % self.options.len() as u64) as usize;
-            self.options[i].sample(rng)
+            // Shrinking stays within the chosen option.
+            self.options[i].new_tree(rng)
         }
     }
 
     macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
+            impl ValueTree for NumericTree<$t> {
+                type Value = $t;
+                fn current(&self) -> $t {
+                    self.curr
+                }
+                fn simplify(&mut self) -> bool {
+                    if self.curr == self.lo {
+                        return false;
+                    }
+                    let next =
+                        (self.lo as i128 + (self.curr as i128 - self.lo as i128) / 2) as $t;
+                    if next == self.lo && self.lo_is_pass {
+                        // The bound is known to pass and `curr` is its
+                        // immediate successor: `curr` is minimal.
+                        return false;
+                    }
+                    self.prev = self.curr;
+                    self.curr = next;
+                    true
+                }
+                fn complicate(&mut self) -> bool {
+                    if self.curr == self.prev {
+                        return false;
+                    }
+                    self.lo = self.curr;
+                    self.lo_is_pass = true;
+                    self.curr = self.prev;
+                    true
+                }
+            }
             impl Strategy for core::ops::Range<$t> {
                 type Value = $t;
-                fn sample(&self, rng: &mut TestRng) -> $t {
+                fn new_tree<'a>(
+                    &'a self,
+                    rng: &mut TestRng,
+                ) -> Box<dyn ValueTree<Value = $t> + 'a> {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end as u128).wrapping_sub(self.start as u128);
-                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                    let v = self
+                        .start
+                        .wrapping_add((rng.next_u64() as u128 % span) as $t);
+                    Box::new(NumericTree::new(self.start, v))
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
-                fn sample(&self, rng: &mut TestRng) -> $t {
+                fn new_tree<'a>(
+                    &'a self,
+                    rng: &mut TestRng,
+                ) -> Box<dyn ValueTree<Value = $t> + 'a> {
                     let (lo, hi) = (*self.start(), *self.end());
                     assert!(lo <= hi, "empty range strategy");
                     let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
-                    lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                    let v = lo.wrapping_add((rng.next_u64() as u128 % span) as $t);
+                    Box::new(NumericTree::new(lo, v))
                 }
             }
         )*};
@@ -244,59 +418,131 @@ pub mod strategy {
 
     impl_int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
 
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl ValueTree for NumericTree<$t> {
+                type Value = $t;
+                fn current(&self) -> $t {
+                    self.curr
+                }
+                fn simplify(&mut self) -> bool {
+                    if self.curr <= self.lo {
+                        return false;
+                    }
+                    let next = self.lo + (self.curr - self.lo) / 2.0;
+                    if next >= self.curr {
+                        // Midpoint rounded back up: no progress left.
+                        return false;
+                    }
+                    if next <= self.lo && self.lo_is_pass {
+                        return false;
+                    }
+                    self.prev = self.curr;
+                    self.curr = next;
+                    true
+                }
+                fn complicate(&mut self) -> bool {
+                    if self.curr == self.prev {
+                        return false;
+                    }
+                    self.lo = self.curr;
+                    self.lo_is_pass = true;
+                    self.curr = self.prev;
+                    true
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
     impl Strategy for core::ops::Range<f64> {
         type Value = f64;
-        fn sample(&self, rng: &mut TestRng) -> f64 {
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = f64> + 'a> {
             assert!(self.start < self.end, "empty range strategy");
             let v = self.start + (self.end - self.start) * rng.unit_f64();
-            if v < self.end {
-                v
-            } else {
-                self.start
-            }
+            let v = if v < self.end { v } else { self.start };
+            Box::new(NumericTree::new(self.start, v))
         }
     }
 
     impl Strategy for core::ops::Range<f32> {
         type Value = f32;
-        fn sample(&self, rng: &mut TestRng) -> f32 {
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = f32> + 'a> {
             assert!(self.start < self.end, "empty range strategy");
             let v = self.start + (self.end - self.start) * rng.unit_f64() as f32;
-            if v < self.end {
-                v
-            } else {
-                self.start
-            }
+            let v = if v < self.end { v } else { self.start };
+            Box::new(NumericTree::new(self.start, v))
         }
     }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
+        ($tree:ident: $(($idx:tt, $name:ident)),+) => {
+            /// Shrink tree for a tuple strategy: components simplify
+            /// one at a time, in order, and `complicate` is routed to
+            /// the component that moved last. Generic over the
+            /// component *value* types.
+            #[allow(non_snake_case)]
+            pub struct $tree<'a, $($name),+> {
+                $($name: Box<dyn ValueTree<Value = $name> + 'a>,)+
+                last: usize,
+            }
+
+            impl<'a, $($name),+> ValueTree for $tree<'a, $($name),+> {
+                type Value = ($($name,)+);
+                fn current(&self) -> Self::Value {
+                    ($(self.$name.current(),)+)
+                }
+                fn simplify(&mut self) -> bool {
+                    $(
+                        if self.$name.simplify() {
+                            self.last = $idx;
+                            return true;
+                        }
+                    )+
+                    false
+                }
+                fn complicate(&mut self) -> bool {
+                    match self.last {
+                        $($idx => self.$name.complicate(),)+
+                        _ => false,
+                    }
+                }
+            }
+
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
                 type Value = ($($name::Value,)+);
                 #[allow(non_snake_case)]
-                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                fn new_tree<'a>(
+                    &'a self,
+                    rng: &mut TestRng,
+                ) -> Box<dyn ValueTree<Value = Self::Value> + 'a> {
                     let ($($name,)+) = self;
-                    ($($name.sample(rng),)+)
+                    Box::new($tree {
+                        $($name: $name.new_tree(rng),)+
+                        last: usize::MAX,
+                    })
                 }
             }
         };
     }
 
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, F);
-    impl_tuple_strategy!(A, B, C, D, E, F, G);
-    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(TupleTree1: (0, A));
+    impl_tuple_strategy!(TupleTree2: (0, A), (1, B));
+    impl_tuple_strategy!(TupleTree3: (0, A), (1, B), (2, C));
+    impl_tuple_strategy!(TupleTree4: (0, A), (1, B), (2, C), (3, D));
+    impl_tuple_strategy!(TupleTree5: (0, A), (1, B), (2, C), (3, D), (4, E));
+    impl_tuple_strategy!(TupleTree6: (0, A), (1, B), (2, C), (3, D), (4, E), (5, F));
+    impl_tuple_strategy!(TupleTree7: (0, A), (1, B), (2, C), (3, D), (4, E), (5, F), (6, G));
+    impl_tuple_strategy!(
+        TupleTree8: (0, A), (1, B), (2, C), (3, D), (4, E), (5, F), (6, G), (7, H)
+    );
 }
 
 pub mod arbitrary {
     //! `any::<T>()` — uniform sampling over a type's full value space.
 
-    use crate::strategy::Strategy;
+    use crate::strategy::{LeafTree, Strategy, ValueTree};
     use crate::test_runner::TestRng;
     use core::marker::PhantomData;
 
@@ -310,15 +556,17 @@ pub mod arbitrary {
     #[derive(Debug, Clone)]
     pub struct Any<T>(PhantomData<T>);
 
-    impl<T: Arbitrary> Strategy for Any<T> {
+    impl<T: Arbitrary + Clone> Strategy for Any<T> {
         type Value = T;
-        fn sample(&self, rng: &mut TestRng) -> T {
-            T::sample_any(rng)
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T> + 'a> {
+            // Full-space draws (bit patterns for floats) have no
+            // meaningful order to shrink along; they stay as leaves.
+            Box::new(LeafTree::new(T::sample_any(rng)))
         }
     }
 
     /// A strategy drawing uniformly from all values of `T`.
-    pub fn any<T: Arbitrary>() -> Any<T> {
+    pub fn any<T: Arbitrary + Clone>() -> Any<T> {
         Any(PhantomData)
     }
 
@@ -360,7 +608,7 @@ pub mod arbitrary {
 pub mod collection {
     //! Collection strategies.
 
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, ValueTree};
     use crate::test_runner::TestRng;
 
     /// Element-count specification for [`vec`]: a fixed size or a
@@ -411,12 +659,85 @@ pub mod collection {
         }
     }
 
+    /// What the last successful simplification changed, so
+    /// `complicate` can undo exactly that move.
+    enum VecOp {
+        None,
+        Len(usize),
+        Elem(usize),
+    }
+
+    /// Shrink tree for [`VecStrategy`]: first halves the length toward
+    /// the minimum (dropping trailing elements), then shrinks the
+    /// surviving elements one at a time.
+    pub struct VecTree<'a, T> {
+        elements: Vec<Box<dyn ValueTree<Value = T> + 'a>>,
+        len: usize,
+        min_len: usize,
+        try_len: bool,
+        last: VecOp,
+    }
+
+    impl<'a, T> ValueTree for VecTree<'a, T> {
+        type Value = Vec<T>;
+        fn current(&self) -> Vec<T> {
+            self.elements[..self.len]
+                .iter()
+                .map(|e| e.current())
+                .collect()
+        }
+        fn simplify(&mut self) -> bool {
+            if self.try_len && self.len > self.min_len {
+                let prev = self.len;
+                self.len = self.min_len + (self.len - self.min_len) / 2;
+                self.last = VecOp::Len(prev);
+                return true;
+            }
+            for i in 0..self.len {
+                if self.elements[i].simplify() {
+                    self.last = VecOp::Elem(i);
+                    return true;
+                }
+            }
+            false
+        }
+        fn complicate(&mut self) -> bool {
+            match core::mem::replace(&mut self.last, VecOp::None) {
+                VecOp::Len(prev) => {
+                    // The shorter prefix passed: keep the failing
+                    // length and stop probing lengths.
+                    self.len = prev;
+                    self.try_len = false;
+                    true
+                }
+                VecOp::Elem(i) => {
+                    let moved = self.elements[i].complicate();
+                    if moved {
+                        self.last = VecOp::Elem(i);
+                    }
+                    moved
+                }
+                VecOp::None => false,
+            }
+        }
+    }
+
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
-        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        fn new_tree<'a>(
+            &'a self,
+            rng: &mut TestRng,
+        ) -> Box<dyn ValueTree<Value = Vec<S::Value>> + 'a> {
             let span = (self.size.hi - self.size.lo) as u64 + 1;
             let len = self.size.lo + (rng.next_u64() % span) as usize;
-            (0..len).map(|_| self.element.sample(rng)).collect()
+            let elements = (0..len).map(|_| self.element.new_tree(rng)).collect();
+            Box::new(VecTree {
+                elements,
+                len,
+                min_len: self.size.lo,
+                try_len: true,
+                last: VecOp::None,
+            })
         }
     }
 }
@@ -425,7 +746,7 @@ pub mod prelude {
     //! The glob-import surface: `use proptest::prelude::*;`.
 
     pub use crate::arbitrary::any;
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, ValueTree};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
@@ -492,7 +813,8 @@ macro_rules! prop_oneof {
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
-/// becomes a `#[test]` running the body over sampled inputs.
+/// becomes a `#[test]` running the body over sampled inputs and
+/// shrinking any failure to a minimal reproducer.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -522,20 +844,58 @@ macro_rules! __proptest_tests {
                     "::",
                     stringify!($name)
                 ));
+                let strategy = ($(($strategy),)+);
+                // Pins the closure's argument to the strategy's value
+                // type; plain closure-parameter inference cannot see
+                // through the shrink loop's call sites.
+                fn __typed_runner<S, F>(_: &S, f: F) -> F
+                where
+                    S: $crate::strategy::Strategy,
+                    F: Fn(S::Value) -> $crate::test_runner::TestCaseResult,
+                {
+                    f
+                }
+                let run = __typed_runner(&strategy, |__vals| {
+                    let ($($arg,)+) = __vals;
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                });
                 for case in 0..config.cases {
-                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
-                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (move || {
-                            $body
-                            ::core::result::Result::Ok(())
-                        })();
+                    let mut tree =
+                        $crate::strategy::Strategy::new_tree(&strategy, &mut rng);
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = run($crate::strategy::ValueTree::current(&*tree));
                     if let ::core::result::Result::Err(err) = outcome {
+                        let mut last_err = err;
+                        let mut shrinks: u32 = 0;
+                        while shrinks < config.max_shrink_iters {
+                            if !$crate::strategy::ValueTree::simplify(&mut *tree) {
+                                break;
+                            }
+                            shrinks += 1;
+                            match run($crate::strategy::ValueTree::current(&*tree)) {
+                                ::core::result::Result::Err(e) => last_err = e,
+                                ::core::result::Result::Ok(()) => {
+                                    if !$crate::strategy::ValueTree::complicate(&mut *tree)
+                                    {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
                         panic!(
-                            "proptest {} failed at case {}/{}: {}",
+                            "proptest {} failed at case {}/{} ({} shrink steps): {}\n\
+                             minimal failing input: {:?}",
                             stringify!($name),
                             case + 1,
                             config.cases,
-                            err
+                            shrinks,
+                            last_err,
+                            $crate::strategy::ValueTree::current(&*tree),
                         );
                     }
                 }
@@ -607,6 +967,104 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// Drives a tree exactly the way the runner does.
+    fn shrink<V, F: Fn(&V) -> bool>(
+        tree: &mut dyn crate::strategy::ValueTree<Value = V>,
+        fails: F,
+    ) -> u32 {
+        let mut steps = 0;
+        while steps < 1024 {
+            if !tree.simplify() {
+                break;
+            }
+            steps += 1;
+            if !fails(&tree.current()) && !tree.complicate() {
+                break;
+            }
+        }
+        steps
+    }
+
+    #[test]
+    fn shrinks_int_range_to_minimal_failing() {
+        let s = 0u32..1000;
+        let mut rng = TestRng::for_test("shrink_min");
+        // Find a failing initial sample, then shrink it.
+        let mut tree = loop {
+            let t = s.new_tree(&mut rng);
+            if t.current() >= 17 {
+                break t;
+            }
+        };
+        shrink(&mut *tree, |&v| v >= 17);
+        assert_eq!(tree.current(), 17, "binary search must find the boundary");
+    }
+
+    #[test]
+    fn shrinks_to_range_start_when_everything_fails() {
+        let s = 5u64..500;
+        let mut rng = TestRng::for_test("shrink_all_fail");
+        let mut tree = s.new_tree(&mut rng);
+        shrink(&mut *tree, |_| true);
+        assert_eq!(tree.current(), 5);
+    }
+
+    #[test]
+    fn shrinks_floats_toward_the_boundary() {
+        let s = -2.0f64..2.0;
+        let mut rng = TestRng::for_test("shrink_float");
+        let mut tree = loop {
+            let t = s.new_tree(&mut rng);
+            if t.current() > 0.5 {
+                break t;
+            }
+        };
+        shrink(&mut *tree, |&v| v > 0.5);
+        let v = tree.current();
+        assert!(
+            v > 0.5 && v < 0.51,
+            "expected a value just above 0.5, got {v}"
+        );
+    }
+
+    #[test]
+    fn shrinks_tuple_components_independently() {
+        let s = (0u32..100, 0u32..100);
+        let mut rng = TestRng::for_test("shrink_tuple");
+        let mut tree = loop {
+            let t = s.new_tree(&mut rng);
+            if t.current().0 >= 10 {
+                break t;
+            }
+        };
+        shrink(&mut *tree, |&(a, _)| a >= 10);
+        assert_eq!(
+            tree.current(),
+            (10, 0),
+            "a hits its boundary, b its minimum"
+        );
+    }
+
+    #[test]
+    fn shrinks_vec_length_and_elements() {
+        let s = crate::collection::vec(0u32..100, 0usize..20);
+        let mut rng = TestRng::for_test("shrink_vec");
+        let mut tree = loop {
+            let t = s.new_tree(&mut rng);
+            if t.current().iter().any(|&x| x >= 50) {
+                break t;
+            }
+        };
+        let initial_len = tree.current().len();
+        shrink(&mut *tree, |v| v.iter().any(|&x| x >= 50));
+        let v = tree.current();
+        assert!(v.iter().any(|&x| x >= 50), "shrunk value must still fail");
+        assert!(v.len() <= initial_len);
+        // Every surviving element is minimal: 0 for passers, 50 for
+        // the element keeping the case failing.
+        assert!(v.iter().all(|&x| x == 0 || x == 50), "{v:?}");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -619,6 +1077,17 @@ mod tests {
             prop_assert!(a < 50 && b < 50 && c < 50);
             prop_assert_eq!(a + b, b + a);
             prop_assert_ne!(c, 50);
+        }
+    }
+
+    proptest! {
+        /// End-to-end shrinking through the runner: any failing case
+        /// must be walked down to the minimal reproducer before the
+        /// panic is reported.
+        #[test]
+        #[should_panic(expected = "minimal failing input: (17,)")]
+        fn macro_shrinks_to_minimal(v in 0u32..1000) {
+            prop_assert!(v < 17);
         }
     }
 }
