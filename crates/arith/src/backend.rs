@@ -55,12 +55,39 @@ impl CpuBackend {
 impl GemmBackend for CpuBackend {
     fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
         let threads = self.threads.unwrap_or_else(default_threads);
+        let _span = gemm_span("gemm:cpu", a, b, cfg, threads as u64);
         qgemm_parallel(a, b, cfg, threads)
     }
 
     fn label(&self) -> String {
         "cpu".into()
     }
+}
+
+/// Opens the per-GEMM telemetry span backends use: shape, config,
+/// operand+result bytes, and the executor's parallelism. Inert (and
+/// nearly free) when telemetry is disabled.
+pub fn gemm_span(
+    name: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+    cfg: &QGemmConfig,
+    threads: u64,
+) -> mpt_telemetry::SpanGuard {
+    let mut span = mpt_telemetry::span(name);
+    if span.is_active() {
+        if let (&[n, k], &[k2, m]) = (a.shape(), b.shape()) {
+            let _ = k2;
+            span.field(mpt_telemetry::SpanField::Str(
+                "shape",
+                format!("{n}x{k}x{m}"),
+            ))
+            .add_bytes(((n * k + k * m + n * m) * std::mem::size_of::<f32>()) as u64);
+        }
+        span.field(mpt_telemetry::SpanField::Str("config", cfg.to_string()))
+            .field(mpt_telemetry::SpanField::U64("threads", threads));
+    }
+    span
 }
 
 #[cfg(test)]

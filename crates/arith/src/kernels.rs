@@ -20,10 +20,20 @@
 //! exactly: a whole `A`-zero row of work is skipped only when `B` is
 //! known finite (otherwise `0 × inf` must still produce the NaN the
 //! reference produces).
+//!
+//! Both kernels carry a `const TALLY: bool` parameter for the
+//! telemetry numerics counters: `TALLY = false` monomorphizes to
+//! exactly the uninstrumented loop (the tally branches compile out),
+//! `TALLY = true` classifies every accumulator (and, for the generic
+//! kernel, multiplier) rounding into thread-local tallies flushed
+//! once per kernel call. [`gemm_into`] picks the variant with a
+//! single `telemetry::enabled()` check per GEMM, so the disabled path
+//! costs one relaxed atomic load.
 
-use crate::mac::{mac_step, sr_event_index, MacConfig, MacStage};
+use crate::mac::{mac_step, mac_step_tallied, sr_event_index, MacConfig, MacStage};
 use mpt_formats::fast::mode;
 use mpt_formats::FloatFastF64;
+use mpt_telemetry::QuantTally;
 
 /// Output/B-row chunk width: 256 f32 = 1 KiB per row chunk, so the
 /// output chunk plus the streaming B chunk sit comfortably in L1.
@@ -54,7 +64,8 @@ fn plan(mac: &MacConfig) -> Plan {
 /// quantized operands already in `ad`/`bd`, indexing rounding events
 /// by global coordinates `(i + row_offset, j + col_offset, k)`.
 ///
-/// Bit-identical to the scalar reference loop for all configurations.
+/// Bit-identical to the scalar reference loop for all configurations,
+/// with telemetry enabled or not.
 #[allow(clippy::too_many_arguments)] // flat GEMM signature: dims + offsets
 pub(crate) fn gemm_into(
     out: &mut [f32],
@@ -74,60 +85,63 @@ pub(crate) fn gemm_into(
     // granularity when B holds no inf/NaN (0 × inf = NaN must not be
     // skipped). One O(km) scan amortized over O(nkm) work.
     let b_all_finite = bd.iter().all(|v| v.is_finite());
+    if mpt_telemetry::enabled() {
+        let mut mul_tally = mac.mul.telemetry_tally();
+        let mut acc_tally = mac.acc.telemetry_tally();
+        match plan(mac) {
+            Plan::Fused(acc) => dispatch_fused::<true>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                &acc,
+                row_offset,
+                col_offset,
+                b_all_finite,
+                &mut acc_tally,
+            ),
+            Plan::Generic => gemm_generic::<true>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                mac,
+                row_offset,
+                col_offset,
+                b_all_finite,
+                &mut mul_tally,
+                &mut acc_tally,
+            ),
+        }
+        // Flush once per kernel call (per worker tile); empty tallies
+        // (fused multipliers, identity stages) are free.
+        mul_tally.flush(&format!("mul:{}", mac.mul));
+        acc_tally.flush(&format!("acc:{}", mac.acc));
+        return;
+    }
+    // Disabled path: TALLY = false monomorphizations; the dummy
+    // tallies are never touched.
+    let mut dummy = QuantTally::new(f64::INFINITY, false);
+    let mut dummy2 = QuantTally::new(f64::INFINITY, false);
     match plan(mac) {
-        Plan::Fused(acc) => match acc.rounding() {
-            mpt_formats::Rounding::Nearest => gemm_fused::<{ mode::RN }>(
-                out,
-                ad,
-                bd,
-                n,
-                k,
-                m,
-                &acc,
-                row_offset,
-                col_offset,
-                b_all_finite,
-            ),
-            mpt_formats::Rounding::TowardZero => gemm_fused::<{ mode::RZ }>(
-                out,
-                ad,
-                bd,
-                n,
-                k,
-                m,
-                &acc,
-                row_offset,
-                col_offset,
-                b_all_finite,
-            ),
-            mpt_formats::Rounding::Stochastic { .. } => gemm_fused::<{ mode::SR }>(
-                out,
-                ad,
-                bd,
-                n,
-                k,
-                m,
-                &acc,
-                row_offset,
-                col_offset,
-                b_all_finite,
-            ),
-            mpt_formats::Rounding::ToOdd => gemm_fused::<{ mode::RO }>(
-                out,
-                ad,
-                bd,
-                n,
-                k,
-                m,
-                &acc,
-                row_offset,
-                col_offset,
-                b_all_finite,
-            ),
-            // `fast_f64` never yields a kernel for NR.
-            mpt_formats::Rounding::NoRound => unreachable!("NR has no fast kernel"),
-        },
-        Plan::Generic => gemm_generic(
+        Plan::Fused(acc) => dispatch_fused::<false>(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            &acc,
+            row_offset,
+            col_offset,
+            b_all_finite,
+            &mut dummy,
+        ),
+        Plan::Generic => gemm_generic::<false>(
             out,
             ad,
             bd,
@@ -138,15 +152,15 @@ pub(crate) fn gemm_into(
             row_offset,
             col_offset,
             b_all_finite,
+            &mut dummy,
+            &mut dummy2,
         ),
     }
 }
 
-/// Fused-MAC float kernel: exact `f64` product and sum, accumulator
-/// rounded by the monomorphized [`FloatFastF64`] (event-index hashing
-/// fused into the mantissa rounding).
+/// Monomorphizes [`gemm_fused`] over the accumulator's rounding mode.
 #[allow(clippy::too_many_arguments)]
-fn gemm_fused<const MODE: u8>(
+fn dispatch_fused<const TALLY: bool>(
     out: &mut [f32],
     ad: &[f32],
     bd: &[f32],
@@ -157,6 +171,82 @@ fn gemm_fused<const MODE: u8>(
     row_offset: usize,
     col_offset: usize,
     b_all_finite: bool,
+    tally: &mut QuantTally,
+) {
+    match acc.rounding() {
+        mpt_formats::Rounding::Nearest => gemm_fused::<{ mode::RN }, TALLY>(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            acc,
+            row_offset,
+            col_offset,
+            b_all_finite,
+            tally,
+        ),
+        mpt_formats::Rounding::TowardZero => gemm_fused::<{ mode::RZ }, TALLY>(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            acc,
+            row_offset,
+            col_offset,
+            b_all_finite,
+            tally,
+        ),
+        mpt_formats::Rounding::Stochastic { .. } => gemm_fused::<{ mode::SR }, TALLY>(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            acc,
+            row_offset,
+            col_offset,
+            b_all_finite,
+            tally,
+        ),
+        mpt_formats::Rounding::ToOdd => gemm_fused::<{ mode::RO }, TALLY>(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            acc,
+            row_offset,
+            col_offset,
+            b_all_finite,
+            tally,
+        ),
+        // `fast_f64` never yields a kernel for NR.
+        mpt_formats::Rounding::NoRound => unreachable!("NR has no fast kernel"),
+    }
+}
+
+/// Fused-MAC float kernel: exact `f64` product and sum, accumulator
+/// rounded by the monomorphized [`FloatFastF64`] (event-index hashing
+/// fused into the mantissa rounding).
+#[allow(clippy::too_many_arguments)]
+fn gemm_fused<const MODE: u8, const TALLY: bool>(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    acc: &FloatFastF64,
+    row_offset: usize,
+    col_offset: usize,
+    b_all_finite: bool,
+    tally: &mut QuantTally,
 ) {
     for i in 0..n {
         let gi = i + row_offset;
@@ -178,7 +268,11 @@ fn gemm_fused<const MODE: u8>(
                     }
                     let sum = orow[j] as f64 + product;
                     let idx = sr_event_index(gi, j + col_offset, kk, MacStage::Accumulate);
-                    orow[j] = acc.quantize::<MODE>(sum, idx) as f32;
+                    let q = acc.quantize::<MODE>(sum, idx);
+                    if TALLY {
+                        tally.record(sum, q);
+                    }
+                    orow[j] = q as f32;
                 }
             }
             j0 = j1;
@@ -190,7 +284,7 @@ fn gemm_fused<const MODE: u8>(
 /// cache-blocked loop (fixed point, block FP, unfused multipliers,
 /// `NR` accumulators).
 #[allow(clippy::too_many_arguments)]
-fn gemm_generic(
+fn gemm_generic<const TALLY: bool>(
     out: &mut [f32],
     ad: &[f32],
     bd: &[f32],
@@ -201,6 +295,8 @@ fn gemm_generic(
     row_offset: usize,
     col_offset: usize,
     b_all_finite: bool,
+    mul_tally: &mut QuantTally,
+    acc_tally: &mut QuantTally,
 ) {
     for i in 0..n {
         let gi = i + row_offset;
@@ -215,7 +311,21 @@ fn gemm_generic(
                 }
                 let brow = &bd[kk * m..kk * m + m];
                 for j in j0..j1 {
-                    orow[j] = mac_step(orow[j], av, brow[j], mac, gi, j + col_offset, kk);
+                    orow[j] = if TALLY {
+                        mac_step_tallied(
+                            orow[j],
+                            av,
+                            brow[j],
+                            mac,
+                            gi,
+                            j + col_offset,
+                            kk,
+                            mul_tally,
+                            acc_tally,
+                        )
+                    } else {
+                        mac_step(orow[j], av, brow[j], mac, gi, j + col_offset, kk)
+                    };
                 }
             }
             j0 = j1;

@@ -206,6 +206,50 @@ pub fn mac_step(acc: f32, a: f32, b: f32, mac: &MacConfig, i: usize, j: usize, k
         .quantize(sum, sr_event_index(i, j, k, MacStage::Accumulate)) as f32
 }
 
+/// [`mac_step`] with telemetry: identical arithmetic (same quantizer
+/// calls, same event indices, bit-identical result — asserted by
+/// tests), additionally classifying the multiplier rounding into
+/// `mul_tally` and the accumulator rounding into `acc_tally`.
+///
+/// Kept as a separate function so the untallied [`mac_step`] stays
+/// byte-identical to the uninstrumented original; the GEMM loops pick
+/// one or the other once per kernel via a `const TALLY` parameter.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mac_step's signature + two tallies
+pub fn mac_step_tallied(
+    acc: f32,
+    a: f32,
+    b: f32,
+    mac: &MacConfig,
+    i: usize,
+    j: usize,
+    k: usize,
+    mul_tally: &mut mpt_telemetry::QuantTally,
+    acc_tally: &mut mpt_telemetry::QuantTally,
+) -> f32 {
+    let product = a as f64 * b as f64;
+    if product == 0.0 {
+        // Zero-adds bypass both quantizers (see mac_step); nothing to
+        // tally.
+        return acc;
+    }
+    let product = if mac.is_fused() {
+        product
+    } else {
+        let rounded = mac
+            .mul
+            .quantize(product, sr_event_index(i, j, k, MacStage::Multiply));
+        mul_tally.record(product, rounded);
+        rounded
+    };
+    let sum = acc as f64 + product;
+    let rounded = mac
+        .acc
+        .quantize(sum, sr_event_index(i, j, k, MacStage::Accumulate));
+    acc_tally.record(sum, rounded);
+    rounded as f32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +364,61 @@ mod tests {
         assert!(!MacConfig::fp8_fp12_sr().is_identity());
         assert!(MacConfig::fp8_fp12_sr().is_fused());
         assert!(!MacConfig::fxp4_4(Rounding::Nearest).is_fused());
+    }
+
+    #[test]
+    fn tallied_step_is_bit_identical_to_mac_step() {
+        // Every configuration family, specials included: the tallied
+        // mirror must never diverge from the oracle.
+        let configs = [
+            MacConfig::fp8_fp12_sr().with_seed(5),
+            MacConfig::fp8_fp12(Rounding::Nearest),
+            MacConfig::fxp4_4(Rounding::TowardZero),
+            MacConfig::new(
+                Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest),
+                Quantizer::float(FloatFormat::e6m5(), Rounding::ToOdd),
+            ),
+        ];
+        let specials = [0.0f32, -0.0, 1.0, -7.3, 1.0e30, f32::INFINITY, f32::NAN];
+        for mac in &configs {
+            let mut mul_t = mac.mul.telemetry_tally();
+            let mut acc_t = mac.acc.telemetry_tally();
+            for (k, &a) in specials.iter().enumerate() {
+                for (j, &b) in specials.iter().enumerate() {
+                    let acc = (j as f32 - 3.0) * 1.7;
+                    let plain = mac_step(acc, a, b, mac, 1, j, k);
+                    let tallied = mac_step_tallied(acc, a, b, mac, 1, j, k, &mut mul_t, &mut acc_t);
+                    assert_eq!(
+                        plain.to_bits(),
+                        tallied.to_bits(),
+                        "{mac} diverged on a={a} b={b} acc={acc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tallied_step_counts_stages() {
+        let mac = MacConfig::fxp4_4(Rounding::Nearest); // unfused: both stages round
+        let mut mul_t = mac.mul.telemetry_tally();
+        let mut acc_t = mac.acc.telemetry_tally();
+        mac_step_tallied(0.0, 1.3, 1.7, &mac, 0, 0, 0, &mut mul_t, &mut acc_t);
+        assert!(!mul_t.is_empty(), "unfused multiplier stage must tally");
+        assert!(!acc_t.is_empty());
+
+        let fused = MacConfig::fp8_fp12_sr();
+        let mut mul_f = fused.mul.telemetry_tally();
+        let mut acc_f = fused.acc.telemetry_tally();
+        mac_step_tallied(0.0, 1.25, 1.25, &fused, 0, 0, 0, &mut mul_f, &mut acc_f);
+        assert!(mul_f.is_empty(), "fused multiplier never rounds");
+        assert!(!acc_f.is_empty());
+
+        // Zero products bypass both quantizers.
+        let mut mul_z = fused.mul.telemetry_tally();
+        let mut acc_z = fused.acc.telemetry_tally();
+        mac_step_tallied(3.0, 0.0, 5.0, &fused, 0, 0, 0, &mut mul_z, &mut acc_z);
+        assert!(mul_z.is_empty() && acc_z.is_empty());
     }
 
     #[test]

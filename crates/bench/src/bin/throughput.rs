@@ -13,6 +13,9 @@ use mpt_tensor::Tensor;
 use std::time::Instant;
 
 fn main() {
+    // MPT_TELEMETRY=1 additionally prints per-quantizer rounding
+    // counters and GEMM span totals after the sweep.
+    let telemetry = mpt_telemetry::init_from_env();
     let a = Tensor::from_fn(vec![128, 128], |i| ((i * 37 % 101) as f32 - 50.0) * 0.01);
     let b = Tensor::from_fn(vec![128, 128], |i| ((i * 43 % 97) as f32 - 48.0) * 0.012);
     println!("quantized GEMM emulation throughput (single thread, 128^3):\n");
@@ -43,5 +46,9 @@ fn main() {
             "  {name:<16} {:>8.1} Mmac/s",
             macs / t0.elapsed().as_secs_f64() / 1e6
         );
+    }
+    if telemetry {
+        println!("\n{}", mpt_telemetry::Snapshot::capture().render_table());
+        mpt_telemetry::sink::flush();
     }
 }

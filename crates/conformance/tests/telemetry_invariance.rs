@@ -1,0 +1,133 @@
+//! Observation must not perturb the experiment.
+//!
+//! Telemetry instruments the quantizers, the GEMM kernels, the tape
+//! and the trainer — and the one hard rule is that turning it on
+//! changes nothing about the numerics. This suite replays the golden
+//! LeNet-5 training run with telemetry enabled and asserts (a) the
+//! weight digest is bit-identical to the telemetry-off run and the
+//! checked-in golden file, and (b) the run actually emitted the
+//! events the acceptance criteria call for: per-layer GEMM spans,
+//! nonzero SR rounding counters for the FP8×FP12-SR pipeline,
+//! loss-scale events, and a perf-model calibration record.
+//!
+//! Everything lives in one `#[test]` because the telemetry enable
+//! flag and event buffer are process-global.
+
+use conformance::{replay_digest_path, replay_lenet};
+use mpt_arith::GemmShape;
+use mpt_core::select_accelerator;
+use mpt_fpga::SynthesisDb;
+use mpt_telemetry::json::{self, Value};
+use std::fs;
+
+#[test]
+fn telemetry_on_is_bit_identical_and_emits_required_events() {
+    // Baseline: telemetry off (the default, but make it explicit).
+    mpt_telemetry::disable();
+    mpt_telemetry::reset();
+    let off = replay_lenet(2);
+    assert!(off.report.telemetry.is_none());
+
+    // Instrumented run, same recipe.
+    mpt_telemetry::enable();
+    let on = replay_lenet(2);
+    mpt_telemetry::disable();
+
+    assert_eq!(
+        on.digest, off.digest,
+        "enabling telemetry changed the trained weights"
+    );
+    assert_eq!(
+        on.report.epoch_losses, off.report.epoch_losses,
+        "enabling telemetry changed the loss trajectory"
+    );
+    if std::env::var("MPT_REGEN_GOLDEN").is_err() {
+        let golden = fs::read_to_string(replay_digest_path())
+            .expect("golden digest present (scripts/regen_golden.sh)")
+            .trim()
+            .to_string();
+        assert_eq!(
+            on.digest, golden,
+            "telemetry-on digest diverged from golden"
+        );
+    }
+
+    // (b) The snapshot rode back on the report and holds the goods.
+    let snap = on.report.telemetry.as_ref().expect("snapshot captured");
+
+    // Per-GEMM spans with shape/config, and per-layer forward spans.
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.name == "gemm:cpu" && s.count > 0 && s.bytes > 0),
+        "no gemm spans in {:?}",
+        snap.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.name.starts_with("fwd:") && s.count > 0),
+        "no per-layer forward spans"
+    );
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.name.starts_with("bwd:") && s.count > 0),
+        "no per-layer backward aggregates"
+    );
+
+    // Nonzero SR rounding counters from the FP8 pipeline: the
+    // accumulator quantizer rounds stochastically in both directions.
+    let sr = snap
+        .quant
+        .iter()
+        .find(|q| q.label.starts_with("acc:") && q.label.ends_with("-SR"))
+        .unwrap_or_else(|| {
+            panic!(
+                "no SR accumulator counters in {:?}",
+                snap.quant.iter().map(|q| &q.label).collect::<Vec<_>>()
+            )
+        });
+    assert!(sr.rounded > 0, "SR accumulator never rounded");
+    assert!(
+        sr.sr_up > 0 && sr.sr_down > 0,
+        "SR went one way only: {sr:?}"
+    );
+
+    // Loss-scale events: every step reports ok/growth/overflow, so
+    // they exist even when nothing overflowed.
+    let events = mpt_telemetry::sink::buffered_events();
+    let typed = |t: &str| {
+        events
+            .iter()
+            .filter(|l| {
+                json::parse(l)
+                    .ok()
+                    .as_ref()
+                    .and_then(|v| v.get("type"))
+                    .and_then(Value::as_str)
+                    == Some(t)
+            })
+            .count()
+    };
+    assert!(typed("loss_scale") > 0, "no loss_scale events");
+    assert!(typed("step") > 0, "no step events");
+    assert!(typed("epoch") > 0, "no epoch events");
+
+    // Perf-model calibration: run the offline matcher over this
+    // model's GEMM workload and audit predicted vs measured L_total.
+    mpt_telemetry::enable();
+    let workload = [GemmShape::new(8, 256, 120), GemmShape::new(8, 120, 84)];
+    let chosen = select_accelerator(&workload, &SynthesisDb::u55(), 8);
+    mpt_telemetry::disable();
+    let cal = mpt_telemetry::calibration_records();
+    let rec = cal
+        .iter()
+        .find(|r| r.context == "select_accelerator")
+        .expect("select_accelerator calibration record");
+    assert_eq!(rec.predicted_s, chosen.estimated_s);
+    assert_eq!(rec.measured_s, chosen.measured_s);
+    assert!(rec.rel_err().is_finite() && rec.rel_err().abs() < 1.0);
+
+    mpt_telemetry::reset();
+}

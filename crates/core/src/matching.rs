@@ -93,7 +93,19 @@ pub fn select_accelerator(workload: &[GemmShape], db: &SynthesisDb, in_bits: u32
             });
         }
     }
-    best.expect("configuration database is non-empty")
+    let chosen = best.expect("configuration database is non-empty");
+    if mpt_telemetry::enabled() {
+        // Auditable predicted-vs-actual record for the winning
+        // configuration: L_total from the performance model against
+        // the cycle-level timing (Fig. 7's comparison).
+        mpt_telemetry::record_calibration(mpt_telemetry::CalibrationRecord {
+            context: "select_accelerator".into(),
+            label: format!("{}@{:.1}MHz", chosen.config, chosen.freq_mhz),
+            predicted_s: chosen.estimated_s,
+            measured_s: chosen.measured_s,
+        });
+    }
+    chosen
 }
 
 /// Estimated iteration latency for a fixed `(n, m)` array across all

@@ -45,6 +45,10 @@ pub struct TrainReport {
     pub test_accuracy: f32,
     /// Loss-scale overflow events observed.
     pub overflows: u64,
+    /// Snapshot of the telemetry registry taken at the end of the run,
+    /// when telemetry was enabled (`None` otherwise). Render it with
+    /// [`mpt_telemetry::Snapshot::render_table`].
+    pub telemetry: Option<mpt_telemetry::Snapshot>,
 }
 
 /// Trains `model` on `train`, evaluates on `test`, and reports
@@ -89,13 +93,20 @@ pub fn train_cnn_with_backend(
     let params = model.parameters();
     let mut scaler = AdaptiveLossScaler::with_scale(cfg.loss_scale);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    // One enabled() check per run; per-step/per-epoch event emission
+    // only ever touches the telemetry sink, never the numerics.
+    let telemetry = mpt_telemetry::enabled();
     for epoch in 0..cfg.epochs {
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
+        let mut samples = 0usize;
+        let epoch_start = std::time::Instant::now();
         for (images, labels) in Batches::new(train, cfg.batch_size, cfg.seed + epoch as u64) {
             for p in &params {
                 p.zero_grad();
             }
+            let step_start = std::time::Instant::now();
+            let batch_samples = labels.len();
             let mut g = Graph::with_backend(true, Rc::clone(&backend));
             let x = g.input(images);
             let logits = model.forward(&mut g, x);
@@ -106,8 +117,28 @@ pub fn train_cnn_with_backend(
                 batches += 1;
             }
             g.backward(loss, scaler.scale());
-            if scaler.unscale_or_skip(&params) {
+            let stepped = scaler.unscale_or_skip(&params);
+            if stepped {
                 optimizer.step(&params);
+            }
+            samples += batch_samples;
+            if telemetry {
+                mpt_telemetry::event(&[
+                    mpt_telemetry::json::Field::Str("type", "step"),
+                    mpt_telemetry::json::Field::U64("epoch", epoch as u64),
+                    mpt_telemetry::json::Field::U64("batch", batches as u64),
+                    mpt_telemetry::json::Field::F64("loss", loss_val as f64),
+                    mpt_telemetry::json::Field::F64("scale", scaler.scale() as f64),
+                    mpt_telemetry::json::Field::Bool("skipped", !stepped),
+                    mpt_telemetry::json::Field::U64(
+                        "dur_ns",
+                        step_start.elapsed().as_nanos() as u64,
+                    ),
+                ]);
+                mpt_telemetry::counter("train.steps").incr();
+                if !stepped {
+                    mpt_telemetry::counter("train.skipped_steps").incr();
+                }
             }
         }
         epoch_losses.push(if batches > 0 {
@@ -115,11 +146,30 @@ pub fn train_cnn_with_backend(
         } else {
             f32::NAN
         });
+        if telemetry {
+            let dur_s = epoch_start.elapsed().as_secs_f64();
+            mpt_telemetry::event(&[
+                mpt_telemetry::json::Field::Str("type", "epoch"),
+                mpt_telemetry::json::Field::U64("epoch", epoch as u64),
+                mpt_telemetry::json::Field::F64("mean_loss", *epoch_losses.last().unwrap() as f64),
+                mpt_telemetry::json::Field::U64("samples", samples as u64),
+                mpt_telemetry::json::Field::F64("dur_s", dur_s),
+                mpt_telemetry::json::Field::F64(
+                    "samples_per_s",
+                    if dur_s > 0.0 {
+                        samples as f64 / dur_s
+                    } else {
+                        0.0
+                    },
+                ),
+            ]);
+        }
     }
     TrainReport {
         epoch_losses,
         test_accuracy: evaluate_cnn_with_backend(model, test, cfg.batch_size, backend),
         overflows: scaler.overflow_count(),
+        telemetry: telemetry.then(mpt_telemetry::Snapshot::capture),
     }
 }
 

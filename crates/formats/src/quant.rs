@@ -215,6 +215,18 @@ impl Quantizer {
         if self.is_identity() {
             return;
         }
+        if mpt_telemetry::enabled() {
+            // Observe without perturbing: snapshot the inputs, run the
+            // exact same kernel, classify the before/after pairs.
+            let before = values.to_vec();
+            self.quantize_slice_inner(values, base_index);
+            self.tally_pairs(&before, values);
+            return;
+        }
+        self.quantize_slice_inner(values, base_index);
+    }
+
+    fn quantize_slice_inner(&self, values: &mut [f32], base_index: u64) {
         if let NumberFormat::BlockFp(bfp) = self.format {
             let f64s: Vec<f64> = values.iter().map(|&v| v as f64).collect();
             let q = bfp.quantize_slice(&f64s, self.rounding, &self.rng, base_index);
@@ -251,6 +263,16 @@ impl Quantizer {
         if self.is_identity() {
             return;
         }
+        if mpt_telemetry::enabled() {
+            let before = values.to_vec();
+            self.quantize_slice_f32_inner(values, base_index);
+            self.tally_pairs(&before, values);
+            return;
+        }
+        self.quantize_slice_f32_inner(values, base_index);
+    }
+
+    fn quantize_slice_f32_inner(&self, values: &mut [f32], base_index: u64) {
         if let NumberFormat::Float(f) = self.format {
             if let Some(fast) = FloatFastF32::new(f, self.rounding, self.rng) {
                 fast.quantize_slice_dyn(values, base_index);
@@ -271,6 +293,44 @@ impl Quantizer {
             NumberFormat::Float(f) => crate::fast::FloatFastF64::new(f, self.rounding, self.rng),
             _ => None,
         }
+    }
+
+    /// The largest finite magnitude this quantizer can produce —
+    /// the threshold the telemetry tally uses to classify clamps as
+    /// saturation. Block floating point has no per-element clamp
+    /// (the shared exponent absorbs the range), so it reports `+inf`
+    /// and never counts saturation.
+    pub fn telemetry_threshold(&self) -> f64 {
+        match self.format {
+            NumberFormat::Float(f) => f.max_value(),
+            NumberFormat::Fixed(f) => f.max_value(),
+            NumberFormat::BlockFp(_) => f64::INFINITY,
+        }
+    }
+
+    /// A fresh [`mpt_telemetry::QuantTally`] configured for this
+    /// quantizer (saturation threshold + SR flag). Consumers that
+    /// quantize outside the slice entry points (the GEMM MAC loops)
+    /// build one, record per element, and flush under
+    /// [`telemetry_label`](Quantizer::telemetry_label).
+    pub fn telemetry_tally(&self) -> mpt_telemetry::QuantTally {
+        mpt_telemetry::QuantTally::new(self.telemetry_threshold(), self.rounding.is_stochastic())
+    }
+
+    /// The registry label this quantizer's counters live under (its
+    /// `Display` form, e.g. `E6M5-SR`).
+    pub fn telemetry_label(&self) -> String {
+        self.to_string()
+    }
+
+    /// Classifies `before[i] -> after[i]` pairs into this
+    /// quantizer's global counters (one registry flush).
+    fn tally_pairs(&self, before: &[f32], after: &[f32]) {
+        let mut tally = self.telemetry_tally();
+        for (&x, &y) in before.iter().zip(after) {
+            tally.record_f32(x, y);
+        }
+        tally.flush(&self.telemetry_label());
     }
 }
 
@@ -422,6 +482,123 @@ mod tests {
         ] {
             assert!(!q.is_identity(), "{q} must not be identity");
         }
+    }
+
+    #[test]
+    fn non_identity_saturating_format_clamps_infinity() {
+        // Pin: saturate=true (the default) maps ±inf input to the
+        // format's ±max finite value, exactly like an out-of-range
+        // finite input.
+        let q = Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest);
+        let max = FloatFormat::e5m2().max_value() as f32;
+        assert_eq!(q.quantize_f32(f32::INFINITY, 0), max);
+        assert_eq!(q.quantize_f32(f32::NEG_INFINITY, 0), -max);
+        assert_eq!(q.quantize_f32(1.0e30, 0), max, "finite overflow clamps too");
+        // Slice path agrees with the scalar path on specials.
+        let mut vals = [f32::INFINITY, f32::NEG_INFINITY, 1.0e30];
+        q.quantize_slice_f32(&mut vals, 0);
+        assert_eq!(vals, [max, -max, max]);
+    }
+
+    #[test]
+    fn non_identity_infinity_format_passes_inf_through() {
+        // Pin: with_infinities() preserves ±inf and sends finite
+        // overflow to ±inf instead of clamping.
+        let q = Quantizer::float(FloatFormat::e5m2().with_infinities(), Rounding::Nearest);
+        assert_eq!(q.quantize_f32(f32::INFINITY, 0), f32::INFINITY);
+        assert_eq!(q.quantize_f32(f32::NEG_INFINITY, 0), f32::NEG_INFINITY);
+        assert_eq!(q.quantize_f32(1.0e30, 0), f32::INFINITY);
+        assert_eq!(q.quantize_f32(-1.0e30, 0), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn non_identity_format_propagates_nan() {
+        for q in [
+            Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest),
+            Quantizer::float(
+                FloatFormat::e5m2().with_infinities(),
+                Rounding::stochastic(),
+            ),
+        ] {
+            assert!(q.quantize_f32(f32::NAN, 0).is_nan());
+            let mut vals = [f32::NAN, 1.0];
+            q.quantize_slice_f32(&mut vals, 0);
+            assert!(vals[0].is_nan());
+            assert_eq!(vals[1], 1.0);
+        }
+    }
+
+    #[test]
+    fn saturation_counters_distinguish_clamp_from_inf_passthrough() {
+        // The satellite bug: a clamp-to-max (saturate=true) and an
+        // inf-passthrough (with_infinities) must land in different
+        // counters. Deltas are measured because counters are global.
+        let sat_q = Quantizer::float(FloatFormat::e4m3(), Rounding::Nearest);
+        let inf_q = Quantizer::float(FloatFormat::e5m2().with_infinities(), Rounding::Nearest);
+        let sat_c = mpt_telemetry::quant_counters(&sat_q.telemetry_label());
+        let inf_c = mpt_telemetry::quant_counters(&inf_q.telemetry_label());
+        let base = (
+            sat_c.saturated.get(),
+            sat_c.inf_passthrough.get(),
+            sat_c.overflow_inf.get(),
+            inf_c.saturated.get(),
+            inf_c.inf_passthrough.get(),
+            inf_c.overflow_inf.get(),
+        );
+
+        mpt_telemetry::enable();
+        let mut a = [f32::INFINITY, f32::NEG_INFINITY, 1.0e30, 1.0];
+        sat_q.quantize_slice_f32(&mut a, 0);
+        let mut b = [f32::INFINITY, f32::NEG_INFINITY, 1.0e30, 1.0];
+        inf_q.quantize_slice_f32(&mut b, 0);
+        mpt_telemetry::disable();
+
+        // Saturating format: two inf clamps + one finite clamp, no
+        // inf events.
+        assert_eq!(sat_c.saturated.get() - base.0, 3);
+        assert_eq!(sat_c.inf_passthrough.get() - base.1, 0);
+        assert_eq!(sat_c.overflow_inf.get() - base.2, 0);
+        // Infinity format: no saturation; two passthroughs + one
+        // finite overflow to inf.
+        assert_eq!(inf_c.saturated.get() - base.3, 0);
+        assert_eq!(inf_c.inf_passthrough.get() - base.4, 2);
+        assert_eq!(inf_c.overflow_inf.get() - base.5, 1);
+    }
+
+    #[test]
+    fn telemetry_tally_counts_sr_directions() {
+        let q = Quantizer::float(FloatFormat::e5m2(), Rounding::stochastic()).with_seed(3);
+        let label = q.telemetry_label();
+        let c = mpt_telemetry::quant_counters(&label);
+        let base = (c.total.get(), c.sr_up.get() + c.sr_down.get());
+
+        mpt_telemetry::enable();
+        // 1.1 is not representable in E5M2; SR must round it one way
+        // or the other every time.
+        let mut vals = [1.1f32; 64];
+        q.quantize_slice_f32(&mut vals, 0);
+        mpt_telemetry::disable();
+
+        assert_eq!(c.total.get() - base.0, 64);
+        assert_eq!(c.sr_up.get() + c.sr_down.get() - base.1, 64);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results() {
+        // Observation must not perturb: the instrumented path runs
+        // the same kernels, so outputs are bit-identical.
+        let q = Quantizer::float(FloatFormat::e5m2(), Rounding::stochastic()).with_seed(11);
+        let src: Vec<f32> = (0..128).map(|i| (i as f32 - 64.0) * 0.391).collect();
+        let mut off = src.clone();
+        q.quantize_slice_f32(&mut off, 7);
+        mpt_telemetry::enable();
+        let mut on = src.clone();
+        q.quantize_slice_f32(&mut on, 7);
+        mpt_telemetry::disable();
+        assert_eq!(
+            off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            on.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -70,9 +70,37 @@ impl FpgaBackend {
 
 impl GemmBackend for FpgaBackend {
     fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
+        let mut span =
+            mpt_arith::gemm_span("gemm:fpga", a, b, cfg, self.accelerator.config().c() as u64);
         let (out, latency) = self.accelerator.execute(a, b, cfg)?;
         *self.elapsed_s.borrow_mut() += latency.total_s;
         self.gemms.set(self.gemms.get() + 1);
+        if span.is_active() {
+            span.field(mpt_telemetry::SpanField::F64("hw_total_s", latency.total_s))
+                .field(mpt_telemetry::SpanField::U64(
+                    "hw_cycles",
+                    latency.core_cycles,
+                ));
+            // Per-GEMM perf-model calibration: the analytic L_total
+            // (Section IV-A) against the cycle-accurate simulation,
+            // at the operand width the simulator itself accounts.
+            if let (&[n, k], &[_, m]) = (a.shape(), b.shape()) {
+                let bits = cfg.quant_a.format().bit_width();
+                let predicted = crate::perf::estimate_gemm(
+                    mpt_arith::GemmShape::new(n, k, m),
+                    self.accelerator.config(),
+                    self.accelerator.freq_mhz(),
+                    bits,
+                    bits,
+                );
+                mpt_telemetry::record_calibration(mpt_telemetry::CalibrationRecord {
+                    context: "fpga_gemm".into(),
+                    label: format!("{n}x{k}x{m}@{}", self.accelerator.config()),
+                    predicted_s: predicted.total_s,
+                    measured_s: latency.total_s,
+                });
+            }
+        }
         Ok(out)
     }
 

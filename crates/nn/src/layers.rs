@@ -20,6 +20,12 @@ pub trait Layer {
     fn parameters(&self) -> Vec<Parameter> {
         Vec::new()
     }
+
+    /// Short type label used in telemetry span/scope names (e.g.
+    /// `"conv2d"`); the default suits anonymous wrappers.
+    fn kind(&self) -> &'static str {
+        "layer"
+    }
 }
 
 /// Fully-connected layer `y = x·Wᵀ + b` with per-pass GEMM arithmetic
@@ -64,6 +70,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn kind(&self) -> &'static str {
+        "linear"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         let w = g.param(&self.weight);
         let b = g.param(&self.bias);
@@ -137,6 +147,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         let w = g.param(&self.weight);
         let b = g.param(&self.bias);
@@ -153,6 +167,10 @@ impl Layer for Conv2d {
 pub struct Relu;
 
 impl Layer for Relu {
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         g.relu(input)
     }
@@ -163,6 +181,10 @@ impl Layer for Relu {
 pub struct Gelu;
 
 impl Layer for Gelu {
+    fn kind(&self) -> &'static str {
+        "gelu"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         g.gelu(input)
     }
@@ -173,6 +195,10 @@ impl Layer for Gelu {
 pub struct MaxPool2d;
 
 impl Layer for MaxPool2d {
+    fn kind(&self) -> &'static str {
+        "maxpool2d"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         g.maxpool2d(input)
     }
@@ -183,6 +209,10 @@ impl Layer for MaxPool2d {
 pub struct AvgPoolGlobal;
 
 impl Layer for AvgPoolGlobal {
+    fn kind(&self) -> &'static str {
+        "avgpool"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         g.avgpool_global(input)
     }
@@ -193,6 +223,10 @@ impl Layer for AvgPoolGlobal {
 pub struct Flatten;
 
 impl Layer for Flatten {
+    fn kind(&self) -> &'static str {
+        "flatten"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         let shape = g.value(input).shape().to_vec();
         let batch = shape.first().copied().unwrap_or(1);
@@ -235,6 +269,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn kind(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
@@ -274,6 +312,10 @@ impl LayerNorm {
 }
 
 impl Layer for LayerNorm {
+    fn kind(&self) -> &'static str {
+        "layernorm"
+    }
+
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
@@ -317,6 +359,10 @@ impl Embedding {
 }
 
 impl Layer for Embedding {
+    fn kind(&self) -> &'static str {
+        "embedding"
+    }
+
     fn forward(&self, _g: &mut Graph, _input: NodeId) -> NodeId {
         panic!("Embedding is looked up by id via Embedding::lookup, not forward()")
     }
@@ -357,7 +403,24 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&self, g: &mut Graph, input: NodeId) -> NodeId {
+        if mpt_telemetry::enabled() {
+            // Span each child forward and stamp its scope onto the
+            // nodes it records, so backward time can be attributed to
+            // the same `<idx>:<kind>` label by Graph::backward.
+            let out = self.layers.iter().enumerate().fold(input, |x, (i, l)| {
+                let scope = format!("{i}:{}", l.kind());
+                let _span = mpt_telemetry::span(format!("fwd:{scope}"));
+                g.set_scope(Some(&scope));
+                l.forward(g, x)
+            });
+            g.set_scope(None);
+            return out;
+        }
         self.layers.iter().fold(input, |x, l| l.forward(g, x))
+    }
+
+    fn kind(&self) -> &'static str {
+        "sequential"
     }
 
     fn parameters(&self) -> Vec<Parameter> {

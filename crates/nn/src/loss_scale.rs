@@ -78,10 +78,12 @@ impl AdaptiveLossScaler {
                 }
             }
             self.good_steps += 1;
-            if self.good_steps >= self.growth_interval {
+            let grew = self.good_steps >= self.growth_interval;
+            if grew {
                 self.scale *= self.growth_factor;
                 self.good_steps = 0;
             }
+            self.emit_event(if grew { "growth" } else { "ok" });
             true
         } else {
             for p in params {
@@ -90,8 +92,24 @@ impl AdaptiveLossScaler {
             self.scale = (self.scale * self.backoff_factor).max(1.0);
             self.good_steps = 0;
             self.overflows += 1;
+            self.emit_event("overflow");
             false
         }
+    }
+
+    /// Emits a `loss_scale` telemetry event and bumps the matching
+    /// named counter. No-op when telemetry is disabled.
+    fn emit_event(&self, status: &'static str) {
+        if !mpt_telemetry::enabled() {
+            return;
+        }
+        mpt_telemetry::event(&[
+            mpt_telemetry::json::Field::Str("type", "loss_scale"),
+            mpt_telemetry::json::Field::Str("status", status),
+            mpt_telemetry::json::Field::F64("scale", self.scale as f64),
+            mpt_telemetry::json::Field::U64("overflows", self.overflows),
+        ]);
+        mpt_telemetry::counter(&format!("loss_scale.{status}")).incr();
     }
 }
 

@@ -36,6 +36,11 @@ struct Node {
     backward: Option<BackwardFn>,
     /// Set for nodes created by [`Graph::param`].
     param: Option<Parameter>,
+    /// Telemetry scope active when the node was recorded (the layer
+    /// label [`Sequential`](crate::Sequential) stamps during its
+    /// forward pass); `None` when telemetry is off or the node was
+    /// recorded outside any scope.
+    scope: Option<Rc<str>>,
 }
 
 /// An autograd tape. Create one per training step, run the forward
@@ -60,6 +65,7 @@ pub struct Graph {
     grads: Vec<Option<Tensor>>,
     training: bool,
     backend: Rc<dyn GemmBackend>,
+    scope: Option<Rc<str>>,
 }
 
 impl Graph {
@@ -81,7 +87,15 @@ impl Graph {
             grads: Vec::new(),
             training,
             backend,
+            scope: None,
         }
+    }
+
+    /// Sets the telemetry scope stamped onto subsequently recorded
+    /// nodes (used by [`Sequential`](crate::Sequential) to attribute
+    /// backward time per layer). `None` clears it.
+    pub fn set_scope(&mut self, scope: Option<&str>) {
+        self.scope = scope.map(Rc::from);
     }
 
     /// The GEMM execution backend of this tape.
@@ -144,6 +158,7 @@ impl Graph {
             parents,
             backward,
             param,
+            scope: self.scope.clone(),
         });
         id
     }
@@ -166,6 +181,14 @@ impl Graph {
         grads.resize_with(n, || None);
         grads[loss.0] = Some(Tensor::full(self.values[loss.0].shape().to_vec(), seed));
 
+        // Per-layer backward attribution: when telemetry is on, time
+        // each backward closure and fold it into its node's scope.
+        // One enabled() check per backward pass; the disabled loop
+        // body is unchanged.
+        let timing = mpt_telemetry::enabled();
+        let mut per_scope: std::collections::HashMap<Rc<str>, (u64, u64)> =
+            std::collections::HashMap::new();
+
         for i in (0..=loss.0).rev() {
             let Some(g) = grads[i].take() else { continue };
             let node = &self.nodes[i];
@@ -179,7 +202,17 @@ impl Graph {
                     inputs,
                     output: &self.values[i],
                 };
+                let started = if timing && node.scope.is_some() {
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
                 let parent_grads = backward(&args);
+                if let (Some(t0), Some(scope)) = (started, &node.scope) {
+                    let entry = per_scope.entry(Rc::clone(scope)).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += t0.elapsed().as_nanos() as u64;
+                }
                 debug_assert_eq!(parent_grads.len(), node.parents.len());
                 for (pid, pg) in node.parents.clone().into_iter().zip(parent_grads) {
                     if let Some(pg) = pg {
@@ -193,6 +226,9 @@ impl Graph {
                 }
             }
             grads[i] = Some(g); // keep for inspection via Graph::grad
+        }
+        for (scope, (count, ns)) in per_scope {
+            mpt_telemetry::record_extern(&format!("bwd:{scope}"), ns, count);
         }
         self.grads = grads;
     }

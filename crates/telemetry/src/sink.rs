@@ -1,0 +1,95 @@
+//! Event sink: an always-on in-memory buffer plus an optional JSONL
+//! file writer.
+//!
+//! Every emitted event is one JSON object per line. The in-memory
+//! buffer is capped so a long training run cannot exhaust memory; a
+//! drop counter records anything past the cap (surfaced in the
+//! snapshot so silent truncation is visible). The file path comes
+//! from `MPT_TELEMETRY_JSONL` or [`set_jsonl_path`].
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// Max events retained in memory per run.
+const BUFFER_CAP: usize = 200_000;
+
+#[derive(Default)]
+struct SinkState {
+    buffer: Vec<String>,
+    dropped: u64,
+    file: Option<BufWriter<File>>,
+    path: Option<PathBuf>,
+}
+
+fn sink() -> &'static Mutex<SinkState> {
+    static SINK: OnceLock<Mutex<SinkState>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(SinkState::default()))
+}
+
+/// Appends one pre-serialized JSON line to the sink. Called by the
+/// span/registry layers; use [`crate::event`] for ad-hoc events.
+pub fn emit_line(line: String) {
+    let mut s = sink().lock().unwrap();
+    if let Some(f) = &mut s.file {
+        // A full disk shouldn't take the training run down with it.
+        let _ = writeln!(f, "{line}");
+    }
+    if s.buffer.len() < BUFFER_CAP {
+        s.buffer.push(line);
+    } else {
+        s.dropped += 1;
+    }
+}
+
+/// Routes events to a fresh JSONL file at `path` (truncating any
+/// existing file) in addition to the in-memory buffer.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be created.
+pub fn set_jsonl_path(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let file = File::create(path)?;
+    let mut s = sink().lock().unwrap();
+    s.file = Some(BufWriter::new(file));
+    s.path = Some(path.to_path_buf());
+    Ok(())
+}
+
+/// The JSONL file path, if one is active.
+pub fn jsonl_path() -> Option<PathBuf> {
+    sink().lock().unwrap().path.clone()
+}
+
+/// Flushes the JSONL file writer (if any) to disk.
+pub fn flush() {
+    if let Some(f) = &mut sink().lock().unwrap().file {
+        let _ = f.flush();
+    }
+}
+
+/// Copies the buffered events (in emission order).
+pub fn buffered_events() -> Vec<String> {
+    sink().lock().unwrap().buffer.clone()
+}
+
+/// Events dropped past the in-memory cap (file output is never
+/// dropped).
+pub fn dropped_events() -> u64 {
+    sink().lock().unwrap().dropped
+}
+
+/// Clears the buffer and drop counter, detaches the file writer
+/// (flushing it first).
+pub fn reset() {
+    let mut s = sink().lock().unwrap();
+    if let Some(f) = &mut s.file {
+        let _ = f.flush();
+    }
+    s.file = None;
+    s.path = None;
+    s.buffer.clear();
+    s.dropped = 0;
+}

@@ -1,0 +1,221 @@
+//! Lightweight span tracing.
+//!
+//! A [`SpanGuard`] times a region and, on drop, emits one JSONL
+//! event and folds the duration into a per-name aggregate. Nesting
+//! is tracked per thread: each open span records its parent's id and
+//! its depth, so the event stream reconstructs the call tree without
+//! any cross-thread coordination.
+//!
+//! When telemetry is disabled, [`span`] hands back an inert guard —
+//! no clock read, no allocation beyond moving the name.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{self, Field};
+
+/// Globally unique span ids (0 = "no parent").
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, outermost
+    /// first.
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An extra field attached to a span event.
+#[derive(Debug, Clone)]
+pub enum SpanField {
+    /// Unsigned integer field.
+    U64(&'static str, u64),
+    /// Float field.
+    F64(&'static str, f64),
+    /// String field.
+    Str(&'static str, String),
+}
+
+/// Times a region; emits on drop. Create via [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at open time.
+    state: Option<SpanState>,
+}
+
+#[derive(Debug)]
+struct SpanState {
+    id: u64,
+    parent: u64,
+    depth: usize,
+    name: String,
+    start: Instant,
+    bytes: u64,
+    fields: Vec<SpanField>,
+}
+
+/// Opens a span named `name`. The guard measures until dropped.
+/// Disabled telemetry yields an inert guard.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { state: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let (parent, depth) = OPEN.with(|open| {
+        let mut open = open.borrow_mut();
+        let parent = open.last().copied().unwrap_or(0);
+        let depth = open.len();
+        open.push(id);
+        (parent, depth)
+    });
+    SpanGuard {
+        state: Some(SpanState {
+            id,
+            parent,
+            depth,
+            name: name.into(),
+            start: Instant::now(),
+            bytes: 0,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches an extra field to the close event (no-op when inert).
+    pub fn field(&mut self, f: SpanField) -> &mut Self {
+        if let Some(s) = &mut self.state {
+            s.fields.push(f);
+        }
+        self
+    }
+
+    /// Records bytes moved by the region (summed into the aggregate
+    /// and emitted on the event).
+    pub fn add_bytes(&mut self, bytes: u64) -> &mut Self {
+        if let Some(s) = &mut self.state {
+            s.bytes += bytes;
+        }
+        self
+    }
+
+    /// Whether this guard is live (telemetry was enabled at open).
+    pub fn is_active(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(s) = self.state.take() else { return };
+        let dur = s.start.elapsed();
+        OPEN.with(|open| {
+            let mut open = open.borrow_mut();
+            // Spans are scoped guards, so this span is the innermost
+            // open one on its thread; pop defensively by id anyway.
+            if let Some(pos) = open.iter().rposition(|&id| id == s.id) {
+                open.remove(pos);
+            }
+        });
+        let dur_ns = dur.as_nanos() as u64;
+        let mut fields = vec![
+            Field::Str("type", "span"),
+            Field::Str("name", &s.name),
+            Field::U64("id", s.id),
+            Field::U64("parent", s.parent),
+            Field::U64("depth", s.depth as u64),
+            Field::U64("dur_ns", dur_ns),
+        ];
+        if s.bytes > 0 {
+            fields.push(Field::U64("bytes", s.bytes));
+        }
+        for f in &s.fields {
+            fields.push(match f {
+                SpanField::U64(k, v) => Field::U64(k, *v),
+                SpanField::F64(k, v) => Field::F64(k, *v),
+                SpanField::Str(k, v) => Field::Str(k, v),
+            });
+        }
+        crate::sink::emit_line(json::object(&fields));
+        aggregate(&s.name, dur_ns, s.bytes);
+    }
+}
+
+/// Accumulated totals for every span name.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Number of closed spans with this name.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+    /// Summed bytes moved.
+    pub bytes: u64,
+}
+
+fn aggregates() -> &'static Mutex<HashMap<String, SpanAgg>> {
+    static AGG: OnceLock<Mutex<HashMap<String, SpanAgg>>> = OnceLock::new();
+    AGG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn aggregate(name: &str, dur_ns: u64, bytes: u64) {
+    let mut map = aggregates().lock().unwrap();
+    let agg = map.entry(name.to_string()).or_default();
+    agg.count += 1;
+    agg.total_ns += dur_ns;
+    agg.bytes += bytes;
+}
+
+/// Folds an externally measured duration into the aggregates (used
+/// for per-scope backward timing, where closures are timed manually
+/// rather than via guards). Also emits a span event with id 0.
+pub fn record_extern(name: &str, dur_ns: u64, count: u64) {
+    let line = json::object(&[
+        Field::Str("type", "span"),
+        Field::Str("name", name),
+        Field::U64("id", 0),
+        Field::U64("parent", 0),
+        Field::U64("depth", 0),
+        Field::U64("dur_ns", dur_ns),
+        Field::U64("count", count),
+    ]);
+    crate::sink::emit_line(line);
+    let mut map = aggregates().lock().unwrap();
+    let agg = map.entry(name.to_string()).or_default();
+    agg.count += count;
+    agg.total_ns += dur_ns;
+}
+
+/// Point-in-time copy of one span aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Closed-span count.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+    /// Summed bytes.
+    pub bytes: u64,
+}
+
+/// Snapshots all span aggregates, sorted by name.
+pub fn span_snapshots() -> Vec<SpanSnapshot> {
+    let map = aggregates().lock().unwrap();
+    let mut out: Vec<SpanSnapshot> = map
+        .iter()
+        .map(|(name, a)| SpanSnapshot {
+            name: name.clone(),
+            count: a.count,
+            total_ns: a.total_ns,
+            bytes: a.bytes,
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Clears all span aggregates (run boundaries and tests).
+pub fn reset() {
+    aggregates().lock().unwrap().clear();
+}

@@ -1,0 +1,159 @@
+//! End-of-run snapshot and human-readable summary table.
+
+use std::fmt::Write as _;
+
+use crate::registry::{
+    calibration_records, counter_snapshots, quant_snapshots, CalibrationRecord, QuantSnapshot,
+};
+use crate::span::{span_snapshots, SpanSnapshot};
+
+/// A point-in-time copy of everything the registry has accumulated.
+/// Cheap to clone and safe to hold after [`crate::reset`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Per-quantizer numerics counters (nonzero groups only).
+    pub quant: Vec<QuantSnapshot>,
+    /// Per-name span aggregates.
+    pub spans: Vec<SpanSnapshot>,
+    /// Free-standing named counters (nonzero only).
+    pub counters: Vec<(String, u64)>,
+    /// Perf-model predicted-vs-measured records.
+    pub calibration: Vec<CalibrationRecord>,
+    /// Events dropped past the in-memory buffer cap.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Captures the current registry state.
+    pub fn capture() -> Self {
+        Snapshot {
+            quant: quant_snapshots(),
+            spans: span_snapshots(),
+            counters: counter_snapshots(),
+            calibration: calibration_records(),
+            dropped_events: crate::sink::dropped_events(),
+        }
+    }
+
+    /// The quantizer group whose label equals `label`, if present.
+    pub fn quant_for(&self, label: &str) -> Option<&QuantSnapshot> {
+        self.quant.iter().find(|q| q.label == label)
+    }
+
+    /// Mean absolute relative error of the perf-model calibration
+    /// records, or `None` when there are none.
+    pub fn calibration_mean_abs_err(&self) -> Option<f64> {
+        if self.calibration.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.calibration.iter().map(|r| r.rel_err().abs()).sum();
+        Some(sum / self.calibration.len() as f64)
+    }
+
+    /// Renders the summary table printed at end of run.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== telemetry summary ===");
+
+        if !self.quant.is_empty() {
+            let _ = writeln!(out, "\n-- quantizer numerics --");
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9}",
+                "quantizer", "total", "exact%", "round%", "sat", "inf", "flush", "sr_up", "sr_down"
+            );
+            for q in &self.quant {
+                let pct = |n: u64| {
+                    if q.total == 0 {
+                        0.0
+                    } else {
+                        100.0 * n as f64 / q.total as f64
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>12} {:>8.2}% {:>8.2}% {:>7} {:>7} {:>7} {:>9} {:>9}",
+                    q.label,
+                    q.total,
+                    pct(q.exact),
+                    pct(q.rounded),
+                    q.saturated,
+                    q.overflow_inf + q.inf_passthrough,
+                    q.flushed,
+                    q.sr_up,
+                    q.sr_down,
+                );
+            }
+        }
+
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\n-- spans --");
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>12} {:>12} {:>12}",
+                "span", "count", "total_ms", "mean_us", "MB"
+            );
+            for s in &self.spans {
+                let total_ms = s.total_ns as f64 / 1e6;
+                let mean_us = if s.count == 0 {
+                    0.0
+                } else {
+                    s.total_ns as f64 / s.count as f64 / 1e3
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>8} {:>12.3} {:>12.2} {:>12.3}",
+                    s.name,
+                    s.count,
+                    total_ms,
+                    mean_us,
+                    s.bytes as f64 / 1e6,
+                );
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\n-- counters --");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<40} {v:>12}");
+            }
+        }
+
+        if !self.calibration.is_empty() {
+            let _ = writeln!(out, "\n-- perf-model calibration --");
+            let _ = writeln!(
+                out,
+                "{:<20} {:<24} {:>13} {:>13} {:>9}",
+                "context", "label", "predicted_s", "measured_s", "rel_err"
+            );
+            for r in &self.calibration {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:<24} {:>13.6e} {:>13.6e} {:>+8.1}%",
+                    r.context,
+                    r.label,
+                    r.predicted_s,
+                    r.measured_s,
+                    100.0 * r.rel_err(),
+                );
+            }
+            if let Some(mae) = self.calibration_mean_abs_err() {
+                let _ = writeln!(
+                    out,
+                    "mean |rel_err| over {} records: {:.1}%",
+                    self.calibration.len(),
+                    100.0 * mae
+                );
+            }
+        }
+
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "\nwarning: {} events dropped past the in-memory buffer cap",
+                self.dropped_events
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,96 @@
+//! JSONL file output: every line the sink writes must parse back to
+//! the event that produced it (the file is the audit trail a run
+//! leaves behind, so it has to be machine-readable without guessing).
+
+use mpt_telemetry::json::{self, Field, Value};
+
+#[test]
+fn file_and_buffer_agree_and_round_trip() {
+    let path = std::env::temp_dir().join(format!("mpt_telemetry_rt_{}.jsonl", std::process::id()));
+    mpt_telemetry::reset();
+    mpt_telemetry::sink::set_jsonl_path(&path).expect("temp file creatable");
+    mpt_telemetry::enable();
+
+    // One of each event family, with awkward payloads on purpose.
+    mpt_telemetry::event(&[
+        Field::Str("type", "step"),
+        Field::U64("epoch", 3),
+        Field::F64("loss", 0.1_f32 as f64),
+        Field::F64("bad", f64::NAN), // non-finite must serialize as null
+        Field::Bool("skipped", false),
+        Field::Str("note", "quote \" backslash \\ newline \n tab \t"),
+    ]);
+    {
+        let mut s = mpt_telemetry::span("gemm:test");
+        s.field(mpt_telemetry::SpanField::Str("shape", "8x4x2".into()))
+            .add_bytes(272);
+    }
+    let mut tally = mpt_telemetry::QuantTally::new(448.0, true);
+    tally.record(1.1, 1.0);
+    tally.flush("E4M3-SR");
+    mpt_telemetry::record_calibration(mpt_telemetry::CalibrationRecord {
+        context: "test".into(),
+        label: "8x4x2@<4,4,2>".into(),
+        predicted_s: 1.25e-6,
+        measured_s: 1.5e-6,
+    });
+
+    let buffered = mpt_telemetry::sink::buffered_events();
+    mpt_telemetry::sink::flush();
+    let written = std::fs::read_to_string(&path).expect("file readable");
+    mpt_telemetry::disable();
+    mpt_telemetry::reset();
+    let _ = std::fs::remove_file(&path);
+
+    // The file holds exactly the buffered lines, in order.
+    let file_lines: Vec<&str> = written.lines().collect();
+    assert_eq!(
+        file_lines,
+        buffered.iter().map(String::as_str).collect::<Vec<_>>()
+    );
+    assert!(!file_lines.is_empty());
+
+    // Every line parses, and the payloads survive the round trip.
+    let parsed: Vec<Value> = file_lines
+        .iter()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect();
+    let of_type = |t: &str| -> &Value {
+        parsed
+            .iter()
+            .find(|v| v.get("type").and_then(Value::as_str) == Some(t))
+            .unwrap_or_else(|| panic!("no {t} event"))
+    };
+
+    let step = of_type("step");
+    assert_eq!(step.get("epoch").and_then(Value::as_u64), Some(3));
+    assert_eq!(
+        step.get("loss").and_then(Value::as_f64),
+        Some(0.1_f32 as f64)
+    );
+    assert!(matches!(step.get("bad"), Some(Value::Null)));
+    assert_eq!(
+        step.get("note").and_then(Value::as_str),
+        Some("quote \" backslash \\ newline \n tab \t")
+    );
+
+    let span = of_type("span");
+    assert_eq!(span.get("name").and_then(Value::as_str), Some("gemm:test"));
+    assert_eq!(span.get("shape").and_then(Value::as_str), Some("8x4x2"));
+    assert_eq!(span.get("bytes").and_then(Value::as_u64), Some(272));
+
+    let cal = of_type("calibration");
+    assert_eq!(cal.get("context").and_then(Value::as_str), Some("test"));
+    assert_eq!(
+        cal.get("predicted_s").and_then(Value::as_f64),
+        Some(1.25e-6)
+    );
+    assert_eq!(cal.get("measured_s").and_then(Value::as_f64), Some(1.5e-6));
+
+    // Re-serializing a parsed object and re-parsing is stable (the
+    // parser and writer agree on the grammar).
+    for (line, value) in file_lines.iter().zip(&parsed) {
+        let reparsed = json::parse(line).unwrap();
+        assert_eq!(&reparsed, value);
+    }
+}

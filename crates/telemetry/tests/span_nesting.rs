@@ -1,0 +1,88 @@
+//! Span nesting reconstruction from the emitted event stream.
+//!
+//! One test function: the enabled flag and the event buffer are
+//! process-global, so this binary serializes everything through a
+//! single `#[test]`.
+
+use mpt_telemetry::json::{self, Value};
+
+fn span_events(events: &[String]) -> Vec<Value> {
+    events
+        .iter()
+        .map(|l| json::parse(l).expect("sink lines are valid JSON"))
+        .filter(|v| v.get("type").and_then(Value::as_str) == Some("span"))
+        .collect()
+}
+
+#[test]
+fn nesting_order_and_aggregates() {
+    mpt_telemetry::reset();
+    mpt_telemetry::enable();
+
+    {
+        let mut outer = mpt_telemetry::span("outer");
+        outer.add_bytes(64);
+        {
+            let _mid = mpt_telemetry::span("mid");
+            let _inner = mpt_telemetry::span("inner");
+            // inner drops before mid: close order inner, mid, outer.
+        }
+        let _sibling = mpt_telemetry::span("sibling");
+    }
+    mpt_telemetry::record_extern("bwd:0:conv2d", 1_500, 3);
+
+    let events = span_events(&mpt_telemetry::sink::buffered_events());
+    mpt_telemetry::disable();
+
+    let by_name = |name: &str| -> &Value {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no span event named {name}"))
+    };
+
+    // Close order: guards emit on drop, innermost first.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(names, ["inner", "mid", "sibling", "outer", "bwd:0:conv2d"]);
+
+    // Parent links and depths reconstruct the tree.
+    let outer = by_name("outer");
+    let mid = by_name("mid");
+    let inner = by_name("inner");
+    let sibling = by_name("sibling");
+    let outer_id = outer.get("id").and_then(Value::as_u64).unwrap();
+    let mid_id = mid.get("id").and_then(Value::as_u64).unwrap();
+    assert_eq!(outer.get("parent").and_then(Value::as_u64), Some(0));
+    assert_eq!(outer.get("depth").and_then(Value::as_u64), Some(0));
+    assert_eq!(mid.get("parent").and_then(Value::as_u64), Some(outer_id));
+    assert_eq!(mid.get("depth").and_then(Value::as_u64), Some(1));
+    assert_eq!(inner.get("parent").and_then(Value::as_u64), Some(mid_id));
+    assert_eq!(inner.get("depth").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        sibling.get("parent").and_then(Value::as_u64),
+        Some(outer_id)
+    );
+    assert_eq!(sibling.get("depth").and_then(Value::as_u64), Some(1));
+
+    // Bytes ride on the close event.
+    assert_eq!(outer.get("bytes").and_then(Value::as_u64), Some(64));
+
+    // Aggregates: one entry per name; record_extern counts as given.
+    let snaps = mpt_telemetry::span_snapshots();
+    let agg = |name: &str| snaps.iter().find(|s| s.name == name).unwrap();
+    assert_eq!(agg("outer").count, 1);
+    assert_eq!(agg("outer").bytes, 64);
+    assert_eq!(agg("bwd:0:conv2d").count, 3);
+    assert_eq!(agg("bwd:0:conv2d").total_ns, 1_500);
+
+    // Disabled spans are inert: no new events, guard reports inactive.
+    let n = mpt_telemetry::sink::buffered_events().len();
+    {
+        let g = mpt_telemetry::span("ghost");
+        assert!(!g.is_active());
+    }
+    assert_eq!(mpt_telemetry::sink::buffered_events().len(), n);
+}

@@ -5,13 +5,23 @@
 //! ```text
 //! cargo run --release -p mpt-core --example train_lenet_fp8
 //! ```
+//!
+//! Set `MPT_TELEMETRY=1` (or point `MPT_TELEMETRY_JSONL` at a file)
+//! to watch the run: per-quantizer saturation/rounding counters,
+//! per-layer forward/backward time, per-GEMM spans, loss-scale
+//! events, and a perf-model calibration record for the accelerator
+//! the offline matcher would pick for this workload.
 
+use mpt_arith::GemmShape;
+use mpt_core::select_accelerator;
 use mpt_core::trainer::{evaluate_cnn, train_cnn, TrainConfig};
 use mpt_data::synthetic_mnist;
+use mpt_fpga::SynthesisDb;
 use mpt_models::lenet5;
 use mpt_nn::{GemmPrecision, Sgd};
 
 fn main() {
+    let telemetry = mpt_telemetry::init_from_env();
     let train = synthetic_mnist(512, 1);
     let test = synthetic_mnist(256, 2);
 
@@ -53,4 +63,25 @@ fn main() {
         "Both runs converge on the easy tier — the paper's Table II LeNet5 column,\n\
          where even aggressive formats reach near-baseline accuracy."
     );
+
+    if telemetry {
+        // Audit the performance model against the cycle-level timing
+        // for the accelerator the matcher picks for LeNet5's two FC
+        // GEMMs (batch 32) — the Fig. 7 predicted-vs-measured check.
+        let workload = [GemmShape::new(32, 256, 120), GemmShape::new(32, 120, 84)];
+        let chosen = select_accelerator(&workload, &SynthesisDb::u55(), 8);
+        println!(
+            "\nmatched accelerator {}@{:.1}MHz: estimated {:.3}ms, measured {:.3}ms",
+            chosen.config,
+            chosen.freq_mhz,
+            chosen.estimated_s * 1e3,
+            chosen.measured_s * 1e3
+        );
+
+        println!("\n{}", mpt_telemetry::Snapshot::capture().render_table());
+        mpt_telemetry::sink::flush();
+        if let Some(path) = mpt_telemetry::sink::jsonl_path() {
+            println!("event log: {}", path.display());
+        }
+    }
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Thread-scaling sweep for the parallel GEMM path: runs the criterion
+# `qgemm_parallel_128x96x96` group (worker pool pinned to 1/2/4/8
+# threads) and folds the per-thread-count results into
+# BENCH_qgemm.json under a "thread_scaling" section, recording the
+# host core count the numbers were taken on.
+#
+# Usage: scripts/bench_scaling.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+MPT_BENCH_JSON="$raw" cargo bench -p mpt-bench --bench qgemm -- qgemm_parallel_128x96x96
+
+if ! grep -q . "$raw"; then
+    echo "error: thread-scaling group produced no results" >&2
+    exit 1
+fi
+
+host_cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+python3 - "$raw" "$host_cores" <<'EOF'
+import json, os, sys
+
+raw_path, host_cores = sys.argv[1], int(sys.argv[2])
+rows = [json.loads(line) for line in open(raw_path) if line.strip()]
+
+scaling = []
+for r in rows:
+    group, _, param = r["id"].partition("/")
+    if group != "qgemm_parallel_128x96x96" or not param.isdigit():
+        continue
+    scaling.append({
+        "threads": int(param),
+        "mean_ns": r["mean_ns"],
+        "elem_per_s": r["elem_per_s"],
+    })
+scaling.sort(key=lambda e: e["threads"])
+if not scaling:
+    sys.exit("error: no qgemm_parallel_128x96x96/<threads> rows in the raw output")
+
+base = next((e["elem_per_s"] for e in scaling if e["threads"] == 1), None)
+for e in scaling:
+    e["speedup_vs_1"] = (e["elem_per_s"] / base) if base else None
+
+out_path = "BENCH_qgemm.json"
+doc = json.load(open(out_path)) if os.path.exists(out_path) else {}
+doc["thread_scaling"] = {
+    "group": "qgemm_parallel_128x96x96",
+    "host_cores": host_cores,
+    "results": scaling,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote thread_scaling ({len(scaling)} points, host_cores={host_cores}) to {out_path}")
+for e in scaling:
+    su = f"{e['speedup_vs_1']:.2f}x" if e["speedup_vs_1"] else "n/a"
+    print(f"  {e['threads']:>2} threads: {e['elem_per_s'] / 1e6:8.2f} Melem/s  ({su} vs 1 thread)")
+EOF
