@@ -9,7 +9,7 @@
 //! (`Accelerator::execute`) — plus a tape autograd whose gradients
 //! must be right for training to mean anything.
 //!
-//! This crate is the safety net: three independent conformance layers
+//! This crate is the safety net: four independent conformance layers
 //! that every future performance PR is validated against.
 //!
 //! 1. **Differential GEMM** ([`diffgemm`]): a format × rounding ×
@@ -20,6 +20,11 @@
 //! 3. **Training replay** ([`replay`]): a deterministic end-to-end
 //!    `train_cnn` run whose weight digest must be bit-identical
 //!    across thread counts, across runs, and against a golden file.
+//! 4. **Chaos & recovery** (`tests/chaos_replay.rs`,
+//!    `tests/checkpoint_resume.rs`): the same replay under injected
+//!    FPGA faults (retry + CPU fallback) and under crash/resume from
+//!    CRC-checked checkpoints — both must reproduce the golden
+//!    digest bit for bit.
 //!
 //! The test suites live under `tests/`; this library holds the
 //! reusable machinery so future crates (benches, new backends) can
@@ -37,4 +42,7 @@ pub use diffgemm::{
 };
 pub use digest::{digest_params, digest_tensor, hex_digest};
 pub use gradcheck::{assert_gradients, check_gradients, GradCheckReport};
-pub use replay::{replay_digest_path, replay_lenet, ReplayOutcome, REPLAY_THREAD_COUNTS};
+pub use replay::{
+    replay_config, replay_digest_path, replay_lenet, replay_lenet_with, ReplayOutcome,
+    REPLAY_THREAD_COUNTS,
+};

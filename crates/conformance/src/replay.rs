@@ -10,7 +10,7 @@
 
 use crate::digest::{digest_params, hex_digest};
 use mpt_arith::{CpuBackend, GemmBackend};
-use mpt_core::{train_cnn_with_backend, TrainConfig, TrainReport};
+use mpt_core::{train_cnn_resumable, CheckpointError, TrainConfig, TrainOptions, TrainReport};
 use mpt_data::synthetic_mnist;
 use mpt_models::lenet5;
 use mpt_nn::{GemmPrecision, Layer, Sgd};
@@ -37,20 +37,53 @@ pub struct ReplayOutcome {
 /// in how GEMM tiles are scheduled across threads — which must not
 /// change a single bit.
 pub fn replay_lenet(threads: usize) -> ReplayOutcome {
-    let train = synthetic_mnist(16, 11);
-    let test = synthetic_mnist(8, 12);
-    let model = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(5), 7);
-    let mut opt = Sgd::new(0.05, 0.9, 0.0);
-    let cfg = TrainConfig {
+    replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(threads)),
+        &TrainOptions::default(),
+    )
+    .expect("replay without checkpoint I/O cannot fail")
+}
+
+/// The fixed replay hyper-parameters (see [`replay_lenet`]).
+pub fn replay_config() -> TrainConfig {
+    TrainConfig {
         epochs: 2,
         batch_size: 8,
         loss_scale: 256.0,
         seed: 3,
-    };
-    let backend: Rc<dyn GemmBackend> = Rc::new(CpuBackend::with_threads(threads));
-    let report = train_cnn_with_backend(&model, &mut opt, &train, &test, cfg, backend);
+    }
+}
+
+/// [`replay_lenet`] through an arbitrary GEMM backend and
+/// [`TrainOptions`] — the entry point of the chaos and
+/// checkpoint-resume conformance suites. Every backend is
+/// bit-identical to the emulation kernel, and checkpoint/resume is
+/// bit-exact, so **every** combination must reproduce the same
+/// digest as the plain CPU replay.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] only for checkpoint I/O configured via
+/// `opts` (missing/corrupt resume file, failed save).
+pub fn replay_lenet_with(
+    backend: Rc<dyn GemmBackend>,
+    opts: &TrainOptions,
+) -> Result<ReplayOutcome, CheckpointError> {
+    let train = synthetic_mnist(16, 11);
+    let test = synthetic_mnist(8, 12);
+    let model = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(5), 7);
+    let mut opt = Sgd::new(0.05, 0.9, 0.0);
+    let report = train_cnn_resumable(
+        &model,
+        &mut opt,
+        &train,
+        &test,
+        replay_config(),
+        backend,
+        opts,
+    )?;
     let digest = hex_digest(digest_params(&model.parameters()));
-    ReplayOutcome { digest, report }
+    Ok(ReplayOutcome { digest, report })
 }
 
 /// Path of the checked-in golden digest for [`replay_lenet`].

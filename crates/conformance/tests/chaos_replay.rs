@@ -1,0 +1,116 @@
+//! Chaos conformance: training under injected FPGA faults must
+//! reproduce the fault-free golden weight digest.
+//!
+//! The replay recipe of `training_replay.rs` is run through the FPGA
+//! backend with a deterministic [`FaultPlan`] armed — launch
+//! timeouts, transient failures, CRC-caught HBM corruption and a
+//! sticky fault that exhausts the retry budget and forces a CPU
+//! fallback. Because retry re-executes the identical launch and the
+//! fallback path is the bit-identical emulation kernel, the trained
+//! weights must not change by a single bit.
+//!
+//! The fault seed comes from `MPT_FAULT_SEED` (default 42) so the CI
+//! chaos matrix can sweep seeds without recompiling.
+
+use conformance::{replay_digest_path, replay_lenet, replay_lenet_with};
+use mpt_core::TrainOptions;
+use mpt_faults::{FaultPlan, FaultSite, RetryPolicy, Trigger};
+use mpt_fpga::{Accelerator, FpgaBackend, SaConfig};
+use std::rc::Rc;
+
+fn fault_seed() -> u64 {
+    std::env::var("MPT_FAULT_SEED")
+        .ok()
+        .map(|s| s.parse().expect("MPT_FAULT_SEED is a number"))
+        .unwrap_or(42)
+}
+
+/// The chaos schedule: every site armed, including a sticky fault
+/// that forces at least one CPU fallback mid-training.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(FaultSite::LaunchTimeout, Trigger::Probability(0.10))
+        .with(FaultSite::LaunchTransient, Trigger::Probability(0.15))
+        .with(FaultSite::HbmCorruption, Trigger::EveryNth(7))
+        .with(FaultSite::BitstreamLoad, Trigger::StickyAtLaunch(11))
+}
+
+#[test]
+fn faulted_fpga_training_reproduces_fault_free_digest() {
+    // With MPT_TELEMETRY_JSONL set (the CI chaos job), the injected
+    // fault/fallback events stream to the artifact file. Telemetry is
+    // proven non-perturbing by telemetry_invariance.rs.
+    let telemetry = mpt_telemetry::init_from_env();
+    let seed = fault_seed();
+    let backend = Rc::new(
+        FpgaBackend::new(Accelerator::new(
+            SaConfig::new(8, 8, 4).expect("valid"),
+            298.0,
+        ))
+        .with_fault_plan(chaos_plan(seed))
+        .with_retry_policy(RetryPolicy::no_delay(3)),
+    );
+    let chaos = replay_lenet_with(backend.clone(), &TrainOptions::default())
+        .expect("no checkpoint I/O configured");
+
+    let injector = backend.injector().expect("plan is armed");
+    assert!(
+        injector.injected_count() > 0,
+        "chaos run injected no faults (seed {seed}) — the test is vacuous"
+    );
+    assert!(
+        backend.fallback_count() >= 1,
+        "the sticky bitstream fault must force at least one CPU fallback"
+    );
+
+    // Same bits as the fault-free CPU replay...
+    let clean = replay_lenet(1);
+    assert_eq!(
+        chaos.digest,
+        clean.digest,
+        "fault recovery changed the trained weights (seed {seed}, \
+         {} faults injected, {} fallbacks)",
+        injector.injected_count(),
+        backend.fallback_count()
+    );
+    // ...and as the checked-in golden digest, when present.
+    if let Ok(golden) = std::fs::read_to_string(replay_digest_path()) {
+        assert_eq!(
+            chaos.digest,
+            golden.trim(),
+            "chaos digest diverged from the golden file (seed {seed})"
+        );
+    }
+    if telemetry {
+        mpt_telemetry::sink::flush();
+    }
+}
+
+#[test]
+fn chaos_schedule_is_deterministic_across_runs() {
+    let seed = fault_seed();
+    let run = |_: usize| {
+        let backend = Rc::new(
+            FpgaBackend::new(Accelerator::new(
+                SaConfig::new(8, 8, 4).expect("valid"),
+                298.0,
+            ))
+            .with_fault_plan(chaos_plan(seed))
+            .with_retry_policy(RetryPolicy::no_delay(3)),
+        );
+        let out = replay_lenet_with(backend.clone(), &TrainOptions::default())
+            .expect("no checkpoint I/O configured");
+        let inj = backend.injector().expect("armed");
+        (
+            out.digest,
+            inj.injected_count(),
+            backend.fallback_count(),
+            inj.launch_count(),
+        )
+    };
+    assert_eq!(
+        run(0),
+        run(1),
+        "the same fault seed must replay the same fault schedule"
+    );
+}

@@ -1,0 +1,165 @@
+//! Checkpoint/resume conformance: interrupted training must finish
+//! with the exact weights of an uninterrupted run.
+//!
+//! Three properties of the replay recipe:
+//!
+//! 1. Checkpointing is free: a run that saves checkpoints produces
+//!    the same digest as one that never touches disk.
+//! 2. Crash + resume is bit-exact: killing the run mid-epoch and
+//!    resuming from the checkpoint reproduces the uninterrupted
+//!    digest bit for bit.
+//! 3. Corruption is survivable: a corrupted checkpoint is rejected
+//!    with a typed error, and the automatically-kept previous
+//!    checkpoint still resumes to the correct digest.
+
+use conformance::{replay_lenet, replay_lenet_with};
+use mpt_arith::CpuBackend;
+use mpt_core::{Checkpoint, CheckpointError, TrainOptions};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mpt_conf_ckpt_{}_{name}.bin", std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(Checkpoint::previous_path(path));
+}
+
+#[test]
+fn checkpointing_does_not_perturb_the_digest() {
+    let path = tmp("perturb");
+    cleanup(&path);
+    let clean = replay_lenet(1);
+    let checkpointed = replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(1)),
+        &TrainOptions::default().with_checkpoint(&path, 1),
+    )
+    .expect("checkpoint saves must succeed");
+    assert_eq!(
+        checkpointed.digest, clean.digest,
+        "writing checkpoints changed the trained weights"
+    );
+    assert!(path.exists(), "a checkpoint must have been written");
+    cleanup(&path);
+}
+
+#[test]
+fn crash_and_resume_reproduces_the_digest() {
+    let path = tmp("resume");
+    cleanup(&path);
+    let clean = replay_lenet(1);
+
+    // Crash after 3 of the 4 batches; the last checkpoint is at
+    // batch 2, so one batch of progress is lost and recomputed.
+    replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(1)),
+        &TrainOptions::default()
+            .with_checkpoint(&path, 2)
+            .stop_after(3),
+    )
+    .expect("interrupted run still saves its checkpoints");
+
+    let resumed = replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(1)),
+        &TrainOptions::default().with_checkpoint(&path, 2).resuming(),
+    )
+    .expect("resume from a good checkpoint");
+    assert_eq!(
+        resumed.digest, clean.digest,
+        "crash + resume diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        resumed
+            .report
+            .epoch_losses
+            .iter()
+            .map(|f| f.to_bits())
+            .collect::<Vec<_>>(),
+        clean
+            .report
+            .epoch_losses
+            .iter()
+            .map(|f| f.to_bits())
+            .collect::<Vec<_>>(),
+        "epoch losses diverged after resume"
+    );
+    cleanup(&path);
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_and_previous_survives() {
+    let path = tmp("corrupt");
+    cleanup(&path);
+    let clean = replay_lenet(1);
+
+    // Checkpoint every batch and crash after 3: `path` holds batch 3,
+    // `path.prev` holds batch 2.
+    replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(1)),
+        &TrainOptions::default()
+            .with_checkpoint(&path, 1)
+            .stop_after(3),
+    )
+    .expect("interrupted run still saves its checkpoints");
+    let prev = Checkpoint::previous_path(&path);
+    assert!(prev.exists(), "the previous checkpoint must be kept");
+
+    // Corrupt the newest checkpoint in place.
+    let mut bytes = std::fs::read(&path).expect("checkpoint exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&path, &bytes).expect("rewrite corrupted");
+
+    let err = replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(1)),
+        &TrainOptions::default().with_checkpoint(&path, 1).resuming(),
+    )
+    .expect_err("resume must reject a corrupted checkpoint");
+    assert!(
+        matches!(err, CheckpointError::Corrupted { .. }),
+        "wrong error for a flipped byte: {err}"
+    );
+
+    // Recovery: fall back to the kept previous checkpoint.
+    std::fs::copy(&prev, &path).expect("restore previous checkpoint");
+    let resumed = replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(1)),
+        &TrainOptions::default().with_checkpoint(&path, 1).resuming(),
+    )
+    .expect("previous checkpoint must still resume");
+    assert_eq!(
+        resumed.digest, clean.digest,
+        "resume from the previous checkpoint diverged"
+    );
+    cleanup(&path);
+}
+
+#[test]
+fn truncated_checkpoint_is_rejected() {
+    let path = tmp("truncated");
+    cleanup(&path);
+    replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(1)),
+        &TrainOptions::default()
+            .with_checkpoint(&path, 1)
+            .stop_after(1),
+    )
+    .expect("run with checkpointing");
+    let bytes = std::fs::read(&path).expect("checkpoint exists");
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
+    let err = replay_lenet_with(
+        Rc::new(CpuBackend::with_threads(1)),
+        &TrainOptions::default().with_checkpoint(&path, 1).resuming(),
+    )
+    .expect_err("resume must reject a truncated checkpoint");
+    assert!(
+        matches!(
+            err,
+            CheckpointError::Truncated | CheckpointError::Corrupted { .. }
+        ),
+        "wrong error for truncation: {err}"
+    );
+    cleanup(&path);
+}

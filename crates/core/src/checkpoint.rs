@@ -1,0 +1,524 @@
+//! Atomic, CRC-checked training checkpoints.
+//!
+//! A [`Checkpoint`] captures everything a CNN training run needs to
+//! resume **bit-identically**: the FP32 master weights, the
+//! optimizer's moment tensors ([`OptimState`]), the adaptive
+//! loss-scale dynamics ([`LossScaleState`]), the loop position
+//! (epoch, batch within the epoch) and the running epoch-loss
+//! accumulators. The data order needs no explicit RNG state: batch
+//! shuffling is a pure function of `cfg.seed + epoch` (see
+//! `mpt_data::Batches`), and all stochastic-rounding draws are
+//! indexed by logical coordinates, so position + seed reproduce the
+//! exact stream.
+//!
+//! The on-disk format is a little-endian binary blob:
+//!
+//! ```text
+//! magic  "MPTCKPT1"            8 bytes
+//! payload (version, position, accumulators, scaler, optimizer,
+//!          weights, config echo)
+//! crc32(payload)               4 bytes
+//! ```
+//!
+//! Writes are atomic: the blob goes to `<path>.tmp`, is fsynced, and
+//! is renamed over the destination — after first renaming any
+//! existing checkpoint to `<path>.prev`, so a crash mid-save can
+//! always fall back to the previous good checkpoint. Loads verify the
+//! magic and the CRC-32 before parsing a single field; corrupt or
+//! truncated files surface as typed [`CheckpointError`]s, never as a
+//! panic or as silently wrong state.
+
+use mpt_faults::crc::crc32;
+use mpt_nn::{LossScaleState, OptimState, Parameter};
+use mpt_tensor::Tensor;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::trainer::TrainConfig;
+
+/// Magic prefix + format version of checkpoint files.
+pub const MAGIC: &[u8; 8] = b"MPTCKPT1";
+const VERSION: u32 = 1;
+
+/// Why a checkpoint failed to save or load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (create, write, fsync, rename, read).
+    Io(std::io::Error),
+    /// The file does not begin with [`MAGIC`] — not a checkpoint.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The CRC-32 trailer does not match the payload: the file was
+    /// corrupted or only partially written.
+    Corrupted {
+        /// CRC recorded in the trailer.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        found: u32,
+    },
+    /// The file ended before the payload was complete.
+    Truncated,
+    /// The checkpoint does not fit this run (config or model shape
+    /// mismatch).
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Corrupted { expected, found } => write!(
+                f,
+                "checkpoint corrupted: CRC-32 {found:08x}, trailer says {expected:08x}"
+            ),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Mismatch(why) => write!(f, "checkpoint mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A complete, resumable snapshot of a CNN training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Epoch the snapshot was taken in.
+    pub epoch: u64,
+    /// Batches already consumed within that epoch.
+    pub batch_in_epoch: u64,
+    /// Running sum of finite batch losses this epoch.
+    pub loss_sum: f64,
+    /// Finite-loss batches accumulated this epoch.
+    pub batches: u64,
+    /// Samples consumed this epoch.
+    pub samples: u64,
+    /// Mean losses of the epochs already completed.
+    pub epoch_losses: Vec<f32>,
+    /// Adaptive loss-scaler dynamics.
+    pub scaler: LossScaleState,
+    /// Optimizer moments, keyed by parameter position.
+    pub optim: OptimState,
+    /// FP32 master weights, in parameter order.
+    pub weights: Vec<Tensor>,
+    /// Echo of the run's [`TrainConfig`]; resume refuses a
+    /// checkpoint written under different hyper-parameters.
+    pub config: TrainConfig,
+}
+
+impl Checkpoint {
+    /// Where [`save`](Self::save) parks the previous checkpoint.
+    pub fn previous_path(path: &Path) -> PathBuf {
+        sibling(path, "prev")
+    }
+
+    /// Serializes, writes to `<path>.tmp`, fsyncs, preserves any
+    /// existing checkpoint as `<path>.prev`, then renames into place.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        use std::io::Write;
+        let bytes = self.to_bytes();
+        let tmp = sibling(path, "tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        if path.exists() {
+            std::fs::rename(path, Self::previous_path(path))?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and verifies a checkpoint.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Serializes to the on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(MAGIC.to_vec());
+        w.u32(VERSION);
+        w.u64(self.epoch);
+        w.u64(self.batch_in_epoch);
+        w.u64(self.loss_sum.to_bits());
+        w.u64(self.batches);
+        w.u64(self.samples);
+        w.u32(self.epoch_losses.len() as u32);
+        for &l in &self.epoch_losses {
+            w.u32(l.to_bits());
+        }
+        w.u32(self.scaler.scale.to_bits());
+        w.u32(self.scaler.good_steps);
+        w.u64(self.scaler.overflows);
+        w.u64(self.optim.step);
+        w.u32(self.optim.slots.len() as u32);
+        for slot in &self.optim.slots {
+            w.u32(slot.len() as u32);
+            for t in slot {
+                w.tensor(t);
+            }
+        }
+        w.u32(self.weights.len() as u32);
+        for t in &self.weights {
+            w.tensor(t);
+        }
+        w.u64(self.config.epochs as u64);
+        w.u64(self.config.batch_size as u64);
+        w.u32(self.config.loss_scale.to_bits());
+        w.u64(self.config.seed);
+        let crc = crc32(&w.0[MAGIC.len()..]);
+        w.u32(crc);
+        w.0
+    }
+
+    /// Parses and CRC-verifies the on-disk byte format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let (payload, trailer) = bytes[MAGIC.len()..].split_at(bytes.len() - MAGIC.len() - 4);
+        let expected = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+        let found = crc32(payload);
+        if expected != found {
+            return Err(CheckpointError::Corrupted { expected, found });
+        }
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let epoch = r.u64()?;
+        let batch_in_epoch = r.u64()?;
+        let loss_sum = f64::from_bits(r.u64()?);
+        let batches = r.u64()?;
+        let samples = r.u64()?;
+        let n_losses = r.u32()? as usize;
+        let mut epoch_losses = Vec::with_capacity(n_losses.min(1 << 16));
+        for _ in 0..n_losses {
+            epoch_losses.push(f32::from_bits(r.u32()?));
+        }
+        let scaler = LossScaleState {
+            scale: f32::from_bits(r.u32()?),
+            good_steps: r.u32()?,
+            overflows: r.u64()?,
+        };
+        let step = r.u64()?;
+        let n_slots = r.u32()? as usize;
+        let mut slots = Vec::with_capacity(n_slots.min(1 << 16));
+        for _ in 0..n_slots {
+            let n = r.u32()? as usize;
+            let mut slot = Vec::with_capacity(n.min(1 << 8));
+            for _ in 0..n {
+                slot.push(r.tensor()?);
+            }
+            slots.push(slot);
+        }
+        let n_weights = r.u32()? as usize;
+        let mut weights = Vec::with_capacity(n_weights.min(1 << 16));
+        for _ in 0..n_weights {
+            weights.push(r.tensor()?);
+        }
+        let config = TrainConfig {
+            epochs: r.u64()? as usize,
+            batch_size: r.u64()? as usize,
+            loss_scale: f32::from_bits(r.u32()?),
+            seed: r.u64()?,
+        };
+        if r.pos != r.buf.len() {
+            return Err(CheckpointError::Mismatch(
+                "trailing bytes in payload".into(),
+            ));
+        }
+        Ok(Checkpoint {
+            epoch,
+            batch_in_epoch,
+            loss_sum,
+            batches,
+            samples,
+            epoch_losses,
+            scaler,
+            optim: OptimState { step, slots },
+            weights,
+            config,
+        })
+    }
+
+    /// Verifies this checkpoint fits a run: same hyper-parameters,
+    /// same parameter count and shapes.
+    pub fn validate(&self, params: &[Parameter], cfg: &TrainConfig) -> Result<(), CheckpointError> {
+        if self.config.epochs != cfg.epochs
+            || self.config.batch_size != cfg.batch_size
+            || self.config.loss_scale.to_bits() != cfg.loss_scale.to_bits()
+            || self.config.seed != cfg.seed
+        {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint config {:?} != run config {cfg:?}",
+                self.config
+            )));
+        }
+        if self.weights.len() != params.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has {} parameters, model has {}",
+                self.weights.len(),
+                params.len()
+            )));
+        }
+        for (w, p) in self.weights.iter().zip(params) {
+            if w.shape() != p.value().shape() {
+                return Err(CheckpointError::Mismatch(format!(
+                    "shape mismatch for parameter '{}': checkpoint {:?}, model {:?}",
+                    p.name(),
+                    w.shape(),
+                    p.value().shape()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Joins `path` with an extra extension: `ck.bin` → `ck.bin.tmp`.
+fn sibling(path: &Path, ext: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".");
+    s.push(ext);
+    PathBuf::from(s)
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn tensor(&mut self, t: &Tensor) {
+        self.u32(t.shape().len() as u32);
+        for &d in t.shape() {
+            self.u64(d as u64);
+        }
+        for &x in t.data() {
+            self.u32(x.to_bits());
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn tensor(&mut self) -> Result<Tensor, CheckpointError> {
+        let rank = self.u32()? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Mismatch(format!(
+                "implausible tensor rank {rank}"
+            )));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        let mut numel = 1usize;
+        for _ in 0..rank {
+            let d = self.u64()? as usize;
+            numel = numel.saturating_mul(d);
+            shape.push(d);
+        }
+        // Bound before allocating: the remaining payload must hold it.
+        if numel.saturating_mul(4) > self.buf.len() - self.pos {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(f32::from_bits(self.u32()?));
+        }
+        Tensor::from_vec(shape, data)
+            .map_err(|e| CheckpointError::Mismatch(format!("bad tensor in checkpoint: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            epoch: 1,
+            batch_in_epoch: 3,
+            loss_sum: 2.25,
+            batches: 3,
+            samples: 24,
+            epoch_losses: vec![1.5],
+            scaler: LossScaleState {
+                scale: 128.0,
+                good_steps: 17,
+                overflows: 2,
+            },
+            optim: OptimState {
+                step: 11,
+                slots: vec![
+                    vec![Tensor::from_fn(vec![2, 3], |i| i as f32 * 0.5 - 1.0)],
+                    vec![Tensor::from_fn(vec![4], |i| -(i as f32))],
+                ],
+            },
+            weights: vec![
+                Tensor::from_fn(vec![2, 3], |i| (i as f32).sin()),
+                Tensor::from_fn(vec![4], |i| (i as f32).cos()),
+            ],
+            config: TrainConfig {
+                epochs: 2,
+                batch_size: 8,
+                loss_scale: 256.0,
+                seed: 3,
+            },
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mpt_ckpt_{}_{name}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        let ck = sample();
+        let parsed = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(parsed, ck);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let bytes = sample().to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let res = Checkpoint::from_bytes(&bad);
+            assert!(res.is_err(), "corrupting byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn save_is_atomic_and_keeps_previous() {
+        let path = tmp("atomic");
+        let prev = Checkpoint::previous_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&prev);
+
+        let first = sample();
+        first.save(&path).unwrap();
+        assert!(!prev.exists(), "no previous checkpoint yet");
+
+        let mut second = sample();
+        second.epoch = 2;
+        second.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), second);
+        assert_eq!(
+            Checkpoint::load(&prev).unwrap(),
+            first,
+            "previous checkpoint must survive the overwrite"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&prev);
+    }
+
+    #[test]
+    fn corrupt_file_on_disk_is_rejected() {
+        let path = tmp("corrupt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Corrupted { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(Checkpoint::previous_path(&path));
+    }
+
+    #[test]
+    fn validate_rejects_config_and_shape_mismatch() {
+        let ck = sample();
+        let params = vec![
+            Parameter::new("a", Tensor::zeros(vec![2, 3])),
+            Parameter::new("b", Tensor::zeros(vec![4])),
+        ];
+        assert!(ck.validate(&params, &ck.config).is_ok());
+
+        let mut other_cfg = ck.config;
+        other_cfg.seed = 99;
+        assert!(matches!(
+            ck.validate(&params, &other_cfg),
+            Err(CheckpointError::Mismatch(_))
+        ));
+
+        let wrong_shape = vec![
+            Parameter::new("a", Tensor::zeros(vec![3, 2])),
+            Parameter::new("b", Tensor::zeros(vec![4])),
+        ];
+        assert!(matches!(
+            ck.validate(&wrong_shape, &ck.config),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+}

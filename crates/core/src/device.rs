@@ -4,18 +4,103 @@
 //! designates `device='fpga'` to route a layer's GEMMs to the
 //! accelerator. Both paths produce bit-identical results; the FPGA
 //! path additionally reports its measured latency.
+//!
+//! The FPGA device is fault-tolerant: arming a
+//! [`FaultPlan`] routes each launch through retry-with-backoff and —
+//! once the budget is exhausted — degrades to the bit-identical CPU
+//! emulation path (latency then reported as `None`), so a training
+//! run survives transient device faults with unchanged weights.
 
 use mpt_arith::{default_threads, qgemm_parallel, QGemmConfig};
-use mpt_fpga::{Accelerator, MeasuredLatency, SaConfig, SynthesisDb};
+use mpt_faults::{FaultPlan, Injector, RetryPolicy};
+use mpt_fpga::{
+    emit_fallback_event, resilient_execute, Accelerator, MeasuredLatency, SaConfig, SynthesisDb,
+};
 use mpt_tensor::{ShapeError, Tensor};
+use std::cell::Cell;
 
 /// Where custom-precision GEMMs execute.
 #[derive(Debug, Clone)]
 pub enum Device {
     /// Bit-accurate software emulation on the host CPU.
     Cpu,
-    /// The simulated FPGA accelerator.
-    Fpga(Accelerator),
+    /// The simulated FPGA accelerator (with optional fault-tolerant
+    /// execution).
+    Fpga(FpgaDevice),
+}
+
+/// FPGA execution state: the accelerator plus the recovery policy.
+///
+/// Fault injection is inert unless a plan is armed — the fault-free
+/// hot path pays one `Option` check per launch.
+#[derive(Debug, Clone)]
+pub struct FpgaDevice {
+    accelerator: Accelerator,
+    injector: Option<Injector>,
+    retry: RetryPolicy,
+    fallbacks: Cell<u64>,
+}
+
+impl FpgaDevice {
+    /// Wraps an accelerator with fault injection disarmed.
+    pub fn new(accelerator: Accelerator) -> Self {
+        FpgaDevice {
+            accelerator,
+            injector: None,
+            retry: RetryPolicy::default(),
+            fallbacks: Cell::new(0),
+        }
+    }
+
+    /// Arms a deterministic fault schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = Some(Injector::new(plan));
+        self
+    }
+
+    /// Overrides the retry policy (attempts / backoff delays).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The wrapped accelerator.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accelerator
+    }
+
+    /// The armed injector, if any.
+    pub fn injector(&self) -> Option<&Injector> {
+        self.injector.as_ref()
+    }
+
+    /// Launches that degraded to the CPU path after exhausting their
+    /// retry budget.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.get()
+    }
+
+    fn execute(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        cfg: &QGemmConfig,
+    ) -> Result<(Tensor, Option<MeasuredLatency>), ShapeError> {
+        let Some(inj) = &self.injector else {
+            let (c, lat) = self.accelerator.execute(a, b, cfg)?;
+            return Ok((c, Some(lat)));
+        };
+        match resilient_execute(inj, &self.retry, "device", a, cfg, || {
+            self.accelerator.execute(a, b, cfg)
+        })? {
+            Some((c, lat)) => Ok((c, Some(lat))),
+            None => {
+                self.fallbacks.set(self.fallbacks.get() + 1);
+                emit_fallback_event("device", inj.launch_count(), self.retry.max_attempts);
+                Ok((qgemm_parallel(a, b, cfg, default_threads())?, None))
+            }
+        }
+    }
 }
 
 impl Device {
@@ -37,7 +122,30 @@ impl Device {
         let freq = db
             .frequency(n, m, c)
             .expect("validated configuration has a frequency");
-        Ok(Device::Fpga(Accelerator::new(cfg, freq)))
+        Ok(Device::Fpga(FpgaDevice::new(Accelerator::new(cfg, freq))))
+    }
+
+    /// [`Device::fpga`] with a fault schedule armed and an explicit
+    /// retry policy — the production-service configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mpt_fpga::ConfigError`] if the configuration is
+    /// invalid or absent from the database.
+    pub fn fpga_with_faults(
+        n: usize,
+        m: usize,
+        c: usize,
+        db: &SynthesisDb,
+        plan: FaultPlan,
+        retry: RetryPolicy,
+    ) -> Result<Self, mpt_fpga::ConfigError> {
+        match Self::fpga(n, m, c, db)? {
+            Device::Fpga(dev) => Ok(Device::Fpga(
+                dev.with_fault_plan(plan).with_retry_policy(retry),
+            )),
+            Device::Cpu => unreachable!("fpga constructor returns an FPGA device"),
+        }
     }
 
     /// `true` for the FPGA device.
@@ -46,11 +154,16 @@ impl Device {
     }
 
     /// Executes one custom-precision GEMM on this device. The FPGA
-    /// path also returns its measured latency.
+    /// path also returns its measured latency; a launch that degraded
+    /// to the CPU fallback reports `None` (no hardware time was
+    /// spent).
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] for non-conforming operands.
+    /// Returns [`ShapeError`] for non-conforming operands. Injected
+    /// transient faults are never surfaced as errors — they are
+    /// retried with exponential backoff and, past the budget,
+    /// absorbed by the bit-identical CPU fallback.
     pub fn execute_gemm(
         &self,
         a: &Tensor,
@@ -59,10 +172,7 @@ impl Device {
     ) -> Result<(Tensor, Option<MeasuredLatency>), ShapeError> {
         match self {
             Device::Cpu => Ok((qgemm_parallel(a, b, cfg, default_threads())?, None)),
-            Device::Fpga(acc) => {
-                let (c, lat) = acc.execute(a, b, cfg)?;
-                Ok((c, Some(lat)))
-            }
+            Device::Fpga(dev) => dev.execute(a, b, cfg),
         }
     }
 }
@@ -86,6 +196,52 @@ mod tests {
         assert_eq!(rc, rf, "device changed the numerical result");
         assert!(lc.is_none());
         assert!(lf.unwrap().total_s > 0.0);
+    }
+
+    #[test]
+    fn faulted_device_stays_bit_identical_to_cpu() {
+        use mpt_faults::{FaultSite, Trigger};
+        let db = SynthesisDb::u55();
+        let plan = FaultPlan::new(7)
+            .with(FaultSite::LaunchTimeout, Trigger::EveryNth(2))
+            .with(FaultSite::HbmCorruption, Trigger::AtLaunch(3));
+        let dev = Device::fpga_with_faults(4, 4, 2, &db, plan, RetryPolicy::no_delay(3)).unwrap();
+        let a = Tensor::from_fn(vec![6, 10], |i| ((i * 13 % 17) as f32 - 8.0) * 0.09);
+        let b = Tensor::from_fn(vec![10, 3], |i| ((i * 11 % 13) as f32 - 6.0) * 0.08);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(9);
+        let (want, _) = Device::Cpu.execute_gemm(&a, &b, &cfg).unwrap();
+        for _ in 0..4 {
+            let (got, lat) = dev.execute_gemm(&a, &b, &cfg).unwrap();
+            assert_eq!(got, want, "recovery changed the numerical result");
+            assert!(lat.is_some(), "retried launches still ran on hardware");
+        }
+        let Device::Fpga(fdev) = &dev else {
+            unreachable!()
+        };
+        assert!(fdev.injector().unwrap().injected_count() > 0);
+        assert_eq!(fdev.fallback_count(), 0);
+    }
+
+    #[test]
+    fn exhausted_device_falls_back_to_cpu_without_latency() {
+        use mpt_faults::{FaultSite, Trigger};
+        let db = SynthesisDb::u55();
+        let plan = FaultPlan::new(1).with(FaultSite::LaunchTransient, Trigger::StickyAtLaunch(2));
+        let dev = Device::fpga_with_faults(4, 4, 2, &db, plan, RetryPolicy::no_delay(2)).unwrap();
+        let a = Tensor::from_fn(vec![5, 8], |i| ((i * 7 % 11) as f32 - 5.0) * 0.1);
+        let b = Tensor::from_fn(vec![8, 4], |i| ((i * 5 % 7) as f32 - 3.0) * 0.1);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(2);
+        let (want, _) = Device::Cpu.execute_gemm(&a, &b, &cfg).unwrap();
+        let (first, lat1) = dev.execute_gemm(&a, &b, &cfg).unwrap();
+        assert_eq!(first, want);
+        assert!(lat1.is_some());
+        let (second, lat2) = dev.execute_gemm(&a, &b, &cfg).unwrap();
+        assert_eq!(second, want, "CPU fallback must be bit-identical");
+        assert!(lat2.is_none(), "degraded launch spends no hardware time");
+        let Device::Fpga(fdev) = &dev else {
+            unreachable!()
+        };
+        assert_eq!(fdev.fallback_count(), 1);
     }
 
     #[test]

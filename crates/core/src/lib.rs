@@ -32,14 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod device;
 pub mod features;
 pub mod matching;
 pub mod trainer;
 
-pub use device::Device;
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use device::{Device, FpgaDevice};
 pub use matching::{select_accelerator, sweep_core_counts, MatchResult};
 pub use trainer::{
-    evaluate_cnn, evaluate_cnn_with_backend, train_cnn, train_cnn_with_backend, train_gpt,
-    TrainConfig, TrainReport,
+    evaluate_cnn, evaluate_cnn_with_backend, train_cnn, train_cnn_resumable,
+    train_cnn_with_backend, train_gpt, TrainConfig, TrainOptions, TrainReport,
 };

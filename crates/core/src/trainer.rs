@@ -6,14 +6,16 @@
 //! an initial factor of 256, SGD with momentum (CNNs) or Adam
 //! (transformer), and test-set evaluation.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use mpt_arith::{CpuBackend, GemmBackend};
 use mpt_data::{Batches, CharCorpus, ImageDataset};
 use mpt_models::NanoGpt;
 use mpt_nn::{AdaptiveLossScaler, Graph, Layer, Optimizer};
+use std::path::PathBuf;
 use std::rc::Rc;
 
 /// Hyper-parameters of one CNN training run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -33,6 +35,46 @@ impl Default for TrainConfig {
             loss_scale: 256.0,
             seed: 0,
         }
+    }
+}
+
+/// Checkpoint/resume knobs for [`train_cnn_resumable`].
+///
+/// The default (`TrainOptions::default()`) does no checkpoint I/O at
+/// all — the loop is then identical to [`train_cnn_with_backend`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions {
+    /// Save a checkpoint every this many batches (`None` = never).
+    pub checkpoint_every: Option<usize>,
+    /// Where checkpoints are written/loaded.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from `checkpoint_path` before training. The checkpoint
+    /// must match the run's [`TrainConfig`] and model shapes.
+    pub resume: bool,
+    /// Stop (without evaluating further epochs) after this many
+    /// batches have been processed *by this invocation* — simulates a
+    /// crash for resume testing.
+    pub stop_after_batches: Option<usize>,
+}
+
+impl TrainOptions {
+    /// Checkpoints to `path` every `every` batches.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Resumes from the configured checkpoint path.
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Simulates a crash after `n` processed batches.
+    pub fn stop_after(mut self, n: usize) -> Self {
+        self.stop_after_batches = Some(n);
+        self
     }
 }
 
@@ -90,18 +132,87 @@ pub fn train_cnn_with_backend(
     cfg: TrainConfig,
     backend: Rc<dyn GemmBackend>,
 ) -> TrainReport {
+    train_cnn_resumable(
+        model,
+        optimizer,
+        train,
+        test,
+        cfg,
+        backend,
+        &TrainOptions::default(),
+    )
+    .expect("no checkpoint I/O configured, the loop cannot fail")
+}
+
+/// [`train_cnn_with_backend`] with checkpoint/resume support.
+///
+/// With [`TrainOptions::checkpoint_every`] set, a [`Checkpoint`] is
+/// atomically written every N batches; with
+/// [`TrainOptions::resume`], training restarts from the snapshot —
+/// **bit-identically**: the resumed run consumes the exact same batch
+/// sequence (shuffling is a pure function of `cfg.seed + epoch`) with
+/// the exact same weights, optimizer moments and loss-scale state, so
+/// its final weights match an uninterrupted run bit for bit (enforced
+/// by the conformance suite against the golden replay digest).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] if a resume checkpoint is missing,
+/// corrupt, or does not match this run, or if a checkpoint write
+/// fails. Fault-free training itself cannot fail.
+#[allow(clippy::too_many_arguments)]
+pub fn train_cnn_resumable(
+    model: &dyn Layer,
+    optimizer: &mut dyn Optimizer,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    cfg: TrainConfig,
+    backend: Rc<dyn GemmBackend>,
+    opts: &TrainOptions,
+) -> Result<TrainReport, CheckpointError> {
     let params = model.parameters();
     let mut scaler = AdaptiveLossScaler::with_scale(cfg.loss_scale);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut start_epoch = 0usize;
+    let mut resume_skip = 0u64;
+    let mut resume_acc: Option<(f64, usize, usize)> = None;
+    if opts.resume {
+        let path = opts.checkpoint_path.as_ref().ok_or_else(|| {
+            CheckpointError::Mismatch("resume requested without a checkpoint path".into())
+        })?;
+        let ck = Checkpoint::load(path)?;
+        ck.validate(&params, &cfg)?;
+        for (p, w) in params.iter().zip(&ck.weights) {
+            *p.value_mut() = w.clone();
+        }
+        optimizer.restore_state(&params, &ck.optim);
+        scaler.restore(ck.scaler);
+        epoch_losses = ck.epoch_losses;
+        start_epoch = ck.epoch as usize;
+        resume_skip = ck.batch_in_epoch;
+        resume_acc = Some((ck.loss_sum, ck.batches as usize, ck.samples as usize));
+    }
     // One enabled() check per run; per-step/per-epoch event emission
     // only ever touches the telemetry sink, never the numerics.
     let telemetry = mpt_telemetry::enabled();
-    for epoch in 0..cfg.epochs {
-        let mut loss_sum = 0.0f64;
-        let mut batches = 0usize;
-        let mut samples = 0usize;
+    let mut processed = 0usize;
+    'epochs: for epoch in start_epoch..cfg.epochs {
+        let (mut loss_sum, mut batches, mut samples) = if epoch == start_epoch {
+            resume_acc.take().unwrap_or((0.0, 0, 0))
+        } else {
+            (0.0, 0, 0)
+        };
+        let skip = if epoch == start_epoch { resume_skip } else { 0 };
+        let mut batch_in_epoch = 0u64;
         let epoch_start = std::time::Instant::now();
         for (images, labels) in Batches::new(train, cfg.batch_size, cfg.seed + epoch as u64) {
+            // Resume: the shuffle is deterministic in (seed, epoch),
+            // so fast-forwarding over already-consumed batches lands
+            // on the exact continuation of the interrupted stream.
+            if batch_in_epoch < skip {
+                batch_in_epoch += 1;
+                continue;
+            }
             for p in &params {
                 p.zero_grad();
             }
@@ -122,6 +233,8 @@ pub fn train_cnn_with_backend(
                 optimizer.step(&params);
             }
             samples += batch_samples;
+            batch_in_epoch += 1;
+            processed += 1;
             if telemetry {
                 mpt_telemetry::event(&[
                     mpt_telemetry::json::Field::Str("type", "step"),
@@ -140,18 +253,47 @@ pub fn train_cnn_with_backend(
                     mpt_telemetry::counter("train.skipped_steps").incr();
                 }
             }
+            if let (Some(every), Some(path)) = (opts.checkpoint_every, &opts.checkpoint_path) {
+                if every > 0 && processed.is_multiple_of(every) {
+                    let ck = Checkpoint {
+                        epoch: epoch as u64,
+                        batch_in_epoch,
+                        loss_sum,
+                        batches: batches as u64,
+                        samples: samples as u64,
+                        epoch_losses: epoch_losses.clone(),
+                        scaler: scaler.state(),
+                        optim: optimizer.export_state(&params),
+                        weights: params.iter().map(|p| p.value().clone()).collect(),
+                        config: cfg,
+                    };
+                    ck.save(path)?;
+                    if telemetry {
+                        mpt_telemetry::event(&[
+                            mpt_telemetry::json::Field::Str("type", "checkpoint"),
+                            mpt_telemetry::json::Field::U64("epoch", epoch as u64),
+                            mpt_telemetry::json::Field::U64("batch_in_epoch", batch_in_epoch),
+                        ]);
+                        mpt_telemetry::counter("train.checkpoints").incr();
+                    }
+                }
+            }
+            if opts.stop_after_batches.is_some_and(|n| processed >= n) {
+                break 'epochs;
+            }
         }
-        epoch_losses.push(if batches > 0 {
+        let mean_loss = if batches > 0 {
             (loss_sum / batches as f64) as f32
         } else {
             f32::NAN
-        });
+        };
+        epoch_losses.push(mean_loss);
         if telemetry {
             let dur_s = epoch_start.elapsed().as_secs_f64();
             mpt_telemetry::event(&[
                 mpt_telemetry::json::Field::Str("type", "epoch"),
                 mpt_telemetry::json::Field::U64("epoch", epoch as u64),
-                mpt_telemetry::json::Field::F64("mean_loss", *epoch_losses.last().unwrap() as f64),
+                mpt_telemetry::json::Field::F64("mean_loss", mean_loss as f64),
                 mpt_telemetry::json::Field::U64("samples", samples as u64),
                 mpt_telemetry::json::Field::F64("dur_s", dur_s),
                 mpt_telemetry::json::Field::F64(
@@ -165,12 +307,12 @@ pub fn train_cnn_with_backend(
             ]);
         }
     }
-    TrainReport {
+    Ok(TrainReport {
         epoch_losses,
         test_accuracy: evaluate_cnn_with_backend(model, test, cfg.batch_size, backend),
         overflows: scaler.overflow_count(),
         telemetry: telemetry.then(mpt_telemetry::Snapshot::capture),
-    }
+    })
 }
 
 /// Test-set accuracy (percent) of a CNN classifier.
@@ -329,6 +471,143 @@ mod tests {
             "SR-quantized accuracy {}",
             report.test_accuracy
         );
+    }
+
+    #[test]
+    fn crash_and_resume_is_bit_identical() {
+        let train = synthetic_mnist(32, 21);
+        let test = synthetic_mnist(16, 22);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            loss_scale: 256.0,
+            seed: 5,
+        };
+        let weight_bits = |model: &dyn Layer| -> Vec<u32> {
+            model
+                .parameters()
+                .iter()
+                .flat_map(|p| {
+                    p.value()
+                        .data()
+                        .iter()
+                        .map(|f| f.to_bits())
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+
+        // Reference: the uninterrupted run.
+        let m1 = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(5), 7);
+        let mut o1 = Sgd::new(0.05, 0.9, 0.0);
+        let r1 = train_cnn(&m1, &mut o1, &train, &test, cfg);
+
+        // Crashed run: checkpoint every 2 batches, die after 3 — the
+        // third batch's progress is lost and must be recomputed.
+        let path = std::env::temp_dir().join(format!("mpt_resume_{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(crate::checkpoint::Checkpoint::previous_path(&path));
+        let m2 = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(5), 7);
+        let mut o2 = Sgd::new(0.05, 0.9, 0.0);
+        train_cnn_resumable(
+            &m2,
+            &mut o2,
+            &train,
+            &test,
+            cfg,
+            Rc::new(CpuBackend::new()),
+            &TrainOptions::default()
+                .with_checkpoint(&path, 2)
+                .stop_after(3),
+        )
+        .unwrap();
+        assert_ne!(
+            weight_bits(&m1),
+            weight_bits(&m2),
+            "the crashed run must be visibly incomplete"
+        );
+
+        // Resume from the mid-epoch checkpoint with a fresh model and
+        // optimizer: final weights must match bit for bit.
+        let m3 = lenet5(GemmPrecision::fp8_fp12_sr().with_seed(5), 7);
+        let mut o3 = Sgd::new(0.05, 0.9, 0.0);
+        let r3 = train_cnn_resumable(
+            &m3,
+            &mut o3,
+            &train,
+            &test,
+            cfg,
+            Rc::new(CpuBackend::new()),
+            &TrainOptions::default().with_checkpoint(&path, 2).resuming(),
+        )
+        .unwrap();
+        assert_eq!(
+            weight_bits(&m1),
+            weight_bits(&m3),
+            "resumed run diverged from the uninterrupted run"
+        );
+        assert_eq!(r1.epoch_losses.len(), r3.epoch_losses.len());
+        assert_eq!(
+            r1.epoch_losses
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            r3.epoch_losses
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            "epoch-loss accumulators did not survive the checkpoint"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(crate::checkpoint::Checkpoint::previous_path(&path));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let train = synthetic_mnist(16, 31);
+        let test = synthetic_mnist(8, 32);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            loss_scale: 256.0,
+            seed: 1,
+        };
+        let path = std::env::temp_dir().join(format!("mpt_resume_bad_{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let model = lenet5(GemmPrecision::fp32(), 2);
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        train_cnn_resumable(
+            &model,
+            &mut opt,
+            &train,
+            &test,
+            cfg,
+            Rc::new(CpuBackend::new()),
+            &TrainOptions::default()
+                .with_checkpoint(&path, 1)
+                .stop_after(1),
+        )
+        .unwrap();
+        let mut other = cfg;
+        other.seed = 9;
+        let m2 = lenet5(GemmPrecision::fp32(), 2);
+        let mut o2 = Sgd::new(0.05, 0.9, 0.0);
+        let err = train_cnn_resumable(
+            &m2,
+            &mut o2,
+            &train,
+            &test,
+            other,
+            Rc::new(CpuBackend::new()),
+            &TrainOptions::default().with_checkpoint(&path, 1).resuming(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, crate::checkpoint::CheckpointError::Mismatch(_)),
+            "wrong error: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(crate::checkpoint::Checkpoint::previous_path(&path));
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Fault sites, triggers and the seeded schedule.
+
+use std::fmt;
+
+/// Where a fault can be injected in the execution stack.
+///
+/// Each site models one of the failure modes a real FPGA training
+/// service observes; the recovery action is the same for all of them
+/// (retry with backoff, then CPU fallback), but telemetry and tests
+/// distinguish them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The kernel launch never completes (OpenCL enqueue hangs past
+    /// its deadline).
+    LaunchTimeout,
+    /// The launch returns a transient error (device busy, ECC retry).
+    LaunchTransient,
+    /// An HBM transfer delivered corrupted bits — detected by the
+    /// CRC-checked [`HbmImage`](../mpt_fpga/hbm/struct.HbmImage.html)
+    /// round-trip.
+    HbmCorruption,
+    /// Loading the pre-generated bitstream onto the device failed.
+    BitstreamLoad,
+}
+
+impl FaultSite {
+    /// All sites, in a stable order (used by plans and summaries).
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::LaunchTimeout,
+        FaultSite::LaunchTransient,
+        FaultSite::HbmCorruption,
+        FaultSite::BitstreamLoad,
+    ];
+
+    /// Stable short name (telemetry field / counter suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::LaunchTimeout => "launch_timeout",
+            FaultSite::LaunchTransient => "launch_transient",
+            FaultSite::HbmCorruption => "hbm_corruption",
+            FaultSite::BitstreamLoad => "bitstream_load",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::LaunchTimeout => 0,
+            FaultSite::LaunchTransient => 1,
+            FaultSite::HbmCorruption => 2,
+            FaultSite::BitstreamLoad => 3,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When a site's fault fires.
+///
+/// Fixed triggers ([`EveryNth`](Trigger::EveryNth) /
+/// [`AtLaunch`](Trigger::AtLaunch)) fire only on the **first**
+/// attempt of a launch, so a single retry recovers — they model a
+/// transient glitch. [`StickyAtLaunch`](Trigger::StickyAtLaunch)
+/// fires on *every* attempt of its launch, exhausting the retry
+/// budget and forcing the CPU fallback. [`Probability`] draws an
+/// independent decision per `(launch, attempt)` from the plan seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Never fires (the default for every site).
+    Never,
+    /// Fires on each `(launch, attempt)` independently with this
+    /// probability (clamped to `[0, 1]`).
+    Probability(f64),
+    /// Fires on the first attempt of launches `n, 2n, 3n, …`
+    /// (1-based; `EveryNth(0)` never fires).
+    EveryNth(u64),
+    /// Fires on the first attempt of exactly one launch (1-based).
+    AtLaunch(u64),
+    /// Fires on **every** attempt of one launch (1-based) — retries
+    /// cannot recover, forcing graceful degradation.
+    StickyAtLaunch(u64),
+}
+
+/// A deterministic, seeded fault schedule: one [`Trigger`] per
+/// [`FaultSite`].
+///
+/// A plan is pure data; hand it to an [`Injector`](crate::Injector)
+/// to drive execution. Two injectors built from equal plans make
+/// identical decisions forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    triggers: [Trigger; 4],
+}
+
+impl FaultPlan {
+    /// An empty plan (no site ever fires) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            triggers: [Trigger::Never; 4],
+        }
+    }
+
+    /// Sets the trigger for one site (builder style).
+    pub fn with(mut self, site: FaultSite, trigger: Trigger) -> Self {
+        self.triggers[site.index()] = trigger;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The trigger configured for `site`.
+    pub fn trigger(&self, site: FaultSite) -> Trigger {
+        self.triggers[site.index()]
+    }
+
+    /// `true` if no site can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.iter().all(|t| matches!(t, Trigger::Never))
+    }
+
+    /// Whether `site` faults on attempt `attempt` (0-based) of launch
+    /// `launch` (1-based). Pure function of the plan — no hidden
+    /// state.
+    pub fn fires(&self, site: FaultSite, launch: u64, attempt: u32) -> bool {
+        match self.triggers[site.index()] {
+            Trigger::Never => false,
+            Trigger::Probability(p) => {
+                let h = mix(self.seed
+                    ^ (site.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ launch.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                    ^ (attempt as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+                // 53 uniform bits -> [0, 1).
+                ((h >> 11) as f64) / ((1u64 << 53) as f64) < p.clamp(0.0, 1.0)
+            }
+            Trigger::EveryNth(n) => attempt == 0 && n > 0 && launch.is_multiple_of(n),
+            Trigger::AtLaunch(n) => attempt == 0 && launch == n,
+            Trigger::StickyAtLaunch(n) => launch == n,
+        }
+    }
+}
+
+/// One injected fault occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// The 1-based launch index it fired at.
+    pub launch: u64,
+    /// The 0-based attempt within that launch.
+    pub attempt: u32,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} at launch {} attempt {}",
+            self.site, self.launch, self.attempt
+        )
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// `splitmix64` finalizer — the same mixing the SR hash path uses,
+/// good enough to decorrelate (seed, site, launch, attempt).
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::new(7);
+        assert!(p.is_empty());
+        for site in FaultSite::ALL {
+            for launch in 1..100 {
+                assert!(!p.fires(site, launch, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn every_nth_fires_on_first_attempt_only() {
+        let p = FaultPlan::new(0).with(FaultSite::LaunchTimeout, Trigger::EveryNth(4));
+        assert!(p.fires(FaultSite::LaunchTimeout, 4, 0));
+        assert!(p.fires(FaultSite::LaunchTimeout, 8, 0));
+        assert!(!p.fires(FaultSite::LaunchTimeout, 4, 1), "retry must clear");
+        assert!(!p.fires(FaultSite::LaunchTimeout, 3, 0));
+        assert!(!p.fires(FaultSite::LaunchTransient, 4, 0), "other site");
+    }
+
+    #[test]
+    fn sticky_fires_on_every_attempt() {
+        let p = FaultPlan::new(0).with(FaultSite::LaunchTransient, Trigger::StickyAtLaunch(6));
+        for attempt in 0..10 {
+            assert!(p.fires(FaultSite::LaunchTransient, 6, attempt));
+        }
+        assert!(!p.fires(FaultSite::LaunchTransient, 5, 0));
+    }
+
+    #[test]
+    fn probability_is_deterministic_and_seeded() {
+        let a = FaultPlan::new(1).with(FaultSite::HbmCorruption, Trigger::Probability(0.5));
+        let b = FaultPlan::new(1).with(FaultSite::HbmCorruption, Trigger::Probability(0.5));
+        let c = FaultPlan::new(2).with(FaultSite::HbmCorruption, Trigger::Probability(0.5));
+        let draws = |p: &FaultPlan| -> Vec<bool> {
+            (1..200)
+                .map(|l| p.fires(FaultSite::HbmCorruption, l, 0))
+                .collect()
+        };
+        assert_eq!(draws(&a), draws(&b), "same seed, same schedule");
+        assert_ne!(draws(&a), draws(&c), "different seed, different draws");
+        let hits = draws(&a).iter().filter(|&&x| x).count();
+        assert!((60..140).contains(&hits), "p=0.5 over 199 draws: {hits}");
+    }
+
+    #[test]
+    fn probability_bounds() {
+        let never = FaultPlan::new(3).with(FaultSite::BitstreamLoad, Trigger::Probability(0.0));
+        let always = FaultPlan::new(3).with(FaultSite::BitstreamLoad, Trigger::Probability(1.0));
+        for l in 1..50 {
+            assert!(!never.fires(FaultSite::BitstreamLoad, l, 0));
+            assert!(always.fires(FaultSite::BitstreamLoad, l, 0));
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let f = Fault {
+            site: FaultSite::LaunchTimeout,
+            launch: 9,
+            attempt: 1,
+        };
+        assert_eq!(
+            f.to_string(),
+            "injected launch_timeout at launch 9 attempt 1"
+        );
+    }
+}

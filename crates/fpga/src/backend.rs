@@ -5,9 +5,19 @@
 //! simulated hardware — the paper's `device='fpga'` — while
 //! accumulating the measured latency of each launch. Functional
 //! results stay bit-identical to the CPU path.
+//!
+//! The backend is fault-tolerant: arming a [`FaultPlan`] (via
+//! [`FpgaBackend::with_fault_plan`]) routes every launch through the
+//! retry/backoff loop of [`crate::resilient_execute`], and launches
+//! whose retry budget is exhausted degrade to the bit-identical CPU
+//! emulation kernel — so training completes with the same weights as
+//! a fault-free run. With no plan armed the fault machinery is fully
+//! inert: the hot path pays a single `Option` check per launch.
 
+use crate::resilient::{emit_fallback_event, resilient_execute};
 use crate::sim::Accelerator;
-use mpt_arith::{GemmBackend, QGemmConfig};
+use mpt_arith::{default_threads, qgemm_parallel, GemmBackend, QGemmConfig};
+use mpt_faults::{FaultPlan, Injector, RetryPolicy};
 use mpt_tensor::{ShapeError, Tensor};
 use std::cell::{Cell, RefCell};
 
@@ -34,21 +44,46 @@ pub struct FpgaBackend {
     accelerator: Accelerator,
     elapsed_s: RefCell<f64>,
     gemms: Cell<usize>,
+    injector: Option<Injector>,
+    retry: RetryPolicy,
+    fallbacks: Cell<u64>,
 }
 
 impl FpgaBackend {
-    /// Wraps an accelerator.
+    /// Wraps an accelerator. Fault injection is disarmed and the
+    /// default [`RetryPolicy`] applies if a plan is armed later.
     pub fn new(accelerator: Accelerator) -> Self {
         FpgaBackend {
             accelerator,
             elapsed_s: RefCell::new(0.0),
             gemms: Cell::new(0),
+            injector: None,
+            retry: RetryPolicy::default(),
+            fallbacks: Cell::new(0),
         }
+    }
+
+    /// Arms a deterministic fault schedule: every launch now runs
+    /// through the retry/backoff/fallback loop.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = Some(Injector::new(plan));
+        self
+    }
+
+    /// Overrides the retry policy (attempts / backoff delays).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The wrapped accelerator.
     pub fn accelerator(&self) -> &Accelerator {
         &self.accelerator
+    }
+
+    /// The armed injector, if any (tests assert its tallies).
+    pub fn injector(&self) -> Option<&Injector> {
+        self.injector.as_ref()
     }
 
     /// Total measured hardware time accumulated so far, seconds.
@@ -61,15 +96,22 @@ impl FpgaBackend {
         self.gemms.get()
     }
 
-    /// Resets the accumulated counters.
+    /// Number of launches that degraded to the CPU path after
+    /// exhausting their retry budget.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.get()
+    }
+
+    /// Resets the accumulated counters (not the injector's schedule).
     pub fn reset(&self) {
         *self.elapsed_s.borrow_mut() = 0.0;
         self.gemms.set(0);
+        self.fallbacks.set(0);
     }
-}
 
-impl GemmBackend for FpgaBackend {
-    fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
+    /// One hardware launch with latency accounting and telemetry —
+    /// the fault-free execution path.
+    fn launch(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
         let mut span =
             mpt_arith::gemm_span("gemm:fpga", a, b, cfg, self.accelerator.config().c() as u64);
         let (out, latency) = self.accelerator.execute(a, b, cfg)?;
@@ -102,6 +144,29 @@ impl GemmBackend for FpgaBackend {
             }
         }
         Ok(out)
+    }
+}
+
+impl GemmBackend for FpgaBackend {
+    fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
+        // Fault-free configuration: the direct hardware launch. This
+        // branch is the whole cost of the inert fault layer.
+        let Some(inj) = &self.injector else {
+            return self.launch(a, b, cfg);
+        };
+        match resilient_execute(inj, &self.retry, "fpga", a, cfg, || self.launch(a, b, cfg))? {
+            Some(out) => Ok(out),
+            None => {
+                // Retry budget exhausted: degrade to the bit-identical
+                // CPU emulation kernel so training continues with the
+                // exact same numbers (no hardware time accounted).
+                self.fallbacks.set(self.fallbacks.get() + 1);
+                emit_fallback_event("fpga", inj.launch_count(), self.retry.max_attempts);
+                let threads = default_threads();
+                let _span = mpt_arith::gemm_span("gemm:fallback", a, b, cfg, threads as u64);
+                qgemm_parallel(a, b, cfg, threads)
+            }
+        }
     }
 
     fn label(&self) -> String {
@@ -156,5 +221,58 @@ mod tests {
     fn label_names_configuration() {
         let backend = FpgaBackend::new(Accelerator::new(SaConfig::new(8, 8, 4).unwrap(), 298.0));
         assert_eq!(backend.label(), "fpga<8,8,4>@298.0MHz");
+    }
+
+    #[test]
+    fn faulted_launches_recover_bit_identically() {
+        use mpt_faults::{FaultPlan, FaultSite, RetryPolicy, Trigger};
+        let a = Tensor::from_fn(vec![9, 13], |i| ((i * 29 % 31) as f32 - 15.0) * 0.04);
+        let b = Tensor::from_fn(vec![13, 6], |i| ((i * 23 % 29) as f32 - 14.0) * 0.05);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(8);
+        let plan = FaultPlan::new(42)
+            .with(FaultSite::LaunchTimeout, Trigger::EveryNth(2))
+            .with(FaultSite::HbmCorruption, Trigger::EveryNth(3))
+            .with(FaultSite::BitstreamLoad, Trigger::AtLaunch(5));
+        let backend = FpgaBackend::new(Accelerator::new(SaConfig::new(8, 4, 3).unwrap(), 197.7))
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::no_delay(3));
+        let want = qgemm(&a, &b, &cfg).unwrap();
+        for _ in 0..6 {
+            assert_eq!(backend.gemm(&a, &b, &cfg).unwrap(), want);
+        }
+        let inj = backend.injector().unwrap();
+        // Sites short-circuit in launch order, so at launch 6 the HBM
+        // fault masks the timeout that would also have fired.
+        assert_eq!(inj.injected_at(FaultSite::LaunchTimeout), 2); // 2,4
+        assert_eq!(inj.injected_at(FaultSite::HbmCorruption), 2); // 3,6
+        assert_eq!(inj.injected_at(FaultSite::BitstreamLoad), 1); // 5
+        assert_eq!(backend.fallback_count(), 0, "single faults retry clean");
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_to_cpu_bit_identically() {
+        use mpt_faults::{FaultPlan, FaultSite, RetryPolicy, Trigger};
+        let a = Tensor::from_fn(vec![7, 11], |i| ((i * 17 % 23) as f32 - 11.0) * 0.06);
+        let b = Tensor::from_fn(vec![11, 4], |i| ((i * 19 % 29) as f32 - 14.0) * 0.03);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(3);
+        let backend = FpgaBackend::new(Accelerator::new(SaConfig::new(4, 4, 2).unwrap(), 328.4))
+            .with_fault_plan(
+                FaultPlan::new(1).with(FaultSite::LaunchTransient, Trigger::StickyAtLaunch(2)),
+            )
+            .with_retry_policy(RetryPolicy::no_delay(3));
+        let want = qgemm(&a, &b, &cfg).unwrap();
+        for _ in 0..3 {
+            assert_eq!(backend.gemm(&a, &b, &cfg).unwrap(), want);
+        }
+        assert_eq!(backend.fallback_count(), 1, "launch 2 must degrade");
+        assert_eq!(
+            backend
+                .injector()
+                .unwrap()
+                .injected_at(FaultSite::LaunchTransient),
+            3,
+            "sticky fault burns the whole budget"
+        );
+        assert_eq!(backend.gemm_count(), 2, "fallback is not a hardware launch");
     }
 }

@@ -7,10 +7,62 @@
 //! packing — encoding quantized `f32` carriers into dense 512-bit
 //! words through the formats' codecs — and is used by tests to verify
 //! that the padded layout round-trips losslessly.
+//!
+//! Every image carries a CRC-32 over its packed words, computed at
+//! pack time and verified on [`HbmImage::unpack`]. A transfer that
+//! delivers corrupted bits (the `HbmCorruption` fault site) is
+//! detected — CRC-32 catches every burst error up to 32 bits, so any
+//! single corrupted byte is *guaranteed* to surface as
+//! [`HbmError::Corrupted`], never as silently wrong tensor data.
 
 use crate::config::HBM_PORT_BITS;
+use mpt_faults::crc::Crc32;
 use mpt_formats::NumberFormat;
 use mpt_tensor::{ShapeError, Tensor};
+use std::fmt;
+
+/// Failure decoding an HBM image back into a tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HbmError {
+    /// The packed words no longer match the checksum computed at pack
+    /// time: the transfer corrupted the data and it must be re-sent.
+    Corrupted {
+        /// CRC recorded when the image was packed.
+        expected: u32,
+        /// CRC of the words as they arrived.
+        found: u32,
+    },
+    /// The image's own geometry is inconsistent (never produced by
+    /// [`HbmImage::pack`]).
+    Shape(ShapeError),
+}
+
+impl fmt::Display for HbmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbmError::Corrupted { expected, found } => write!(
+                f,
+                "HBM image corrupted in transfer: CRC-32 {found:#010x}, expected {expected:#010x}"
+            ),
+            HbmError::Shape(e) => write!(f, "HBM image geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HbmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HbmError::Shape(e) => Some(e),
+            HbmError::Corrupted { .. } => None,
+        }
+    }
+}
+
+impl From<ShapeError> for HbmError {
+    fn from(e: ShapeError) -> Self {
+        HbmError::Shape(e)
+    }
+}
 
 /// A matrix packed row-major into 512-bit HBM words.
 ///
@@ -36,6 +88,8 @@ pub struct HbmImage {
     /// 512-bit words stored as 8 × u64 limbs each, row-major.
     words: Vec<[u64; 8]>,
     words_per_row: usize,
+    /// CRC-32 of `words`, computed at pack time.
+    crc: u32,
 }
 
 impl HbmImage {
@@ -66,12 +120,14 @@ impl HbmImage {
                 write_bits(&mut words[r * words_per_row + slot], off_bits, bits, code);
             }
         }
+        let crc = words_crc(&words);
         Ok(HbmImage {
             rows,
             cols,
             format,
             words,
             words_per_row,
+            crc,
         })
     }
 
@@ -90,13 +146,55 @@ impl HbmImage {
         self.format
     }
 
-    /// Decodes the image back into a tensor of `f32` carriers.
+    /// The checksum recorded at pack time.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// Verifies the packed words against the pack-time checksum.
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] only on internal inconsistency (never
-    /// for images produced by [`pack`](Self::pack)).
-    pub fn unpack(&self) -> Result<Tensor, ShapeError> {
+    /// Returns [`HbmError::Corrupted`] if any bit of the words
+    /// changed since [`pack`](Self::pack).
+    pub fn verify(&self) -> Result<(), HbmError> {
+        let found = words_crc(&self.words);
+        if found != self.crc {
+            return Err(HbmError::Corrupted {
+                expected: self.crc,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// XORs `mask` into one byte of the packed words — the hook the
+    /// fault injector (and the corruption proptests) use to model a
+    /// failed HBM transfer. The pack-time CRC is deliberately left
+    /// untouched, so a non-zero mask makes [`unpack`](Self::unpack)
+    /// fail. Out-of-range indices wrap; a zero mask is a no-op.
+    pub fn corrupt_byte(&mut self, byte_index: usize, mask: u8) {
+        if self.words.is_empty() {
+            return;
+        }
+        let total = self.words.len() * 64;
+        let i = byte_index % total;
+        let limb = &mut self.words[i / 64][(i % 64) / 8];
+        *limb ^= (mask as u64) << ((i % 8) * 8);
+    }
+
+    /// Decodes the image back into a tensor of `f32` carriers, first
+    /// verifying transfer integrity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbmError::Corrupted`] when the words fail the CRC
+    /// check (corrupted transfer — never panics, never yields wrong
+    /// tensors), or [`HbmError::Shape`] on internal geometry
+    /// inconsistency (never for images produced by
+    /// [`pack`](Self::pack)).
+    pub fn unpack(&self) -> Result<Tensor, HbmError> {
+        self.verify()?;
         let bits = self.format.bit_width() as usize;
         let per_word = HBM_PORT_BITS / bits;
         let mut data = vec![0.0f32; self.rows * self.cols];
@@ -108,8 +206,19 @@ impl HbmImage {
                 data[r * self.cols + c] = decode(self.format, code);
             }
         }
-        Tensor::from_vec(vec![self.rows, self.cols], data)
+        Ok(Tensor::from_vec(vec![self.rows, self.cols], data)?)
     }
+}
+
+/// CRC-32 over the words' limbs in storage order.
+fn words_crc(words: &[[u64; 8]]) -> u32 {
+    let mut h = Crc32::new();
+    for w in words {
+        for limb in w {
+            h.update(&limb.to_le_bytes());
+        }
+    }
+    h.finish()
 }
 
 fn encode(format: NumberFormat, v: f32) -> u64 {
@@ -233,6 +342,43 @@ mod tests {
         let t = quantized(1, 42, q);
         let img = HbmImage::pack(&t, fmt).unwrap();
         assert_eq!(img.words_per_row(), 1);
+        assert_eq!(img.unpack().unwrap(), t);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_decoded() {
+        let fmt = NumberFormat::from(FloatFormat::e5m2());
+        let t = quantized(
+            3,
+            40,
+            Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest),
+        );
+        let clean = HbmImage::pack(&t, fmt).unwrap();
+        assert!(clean.verify().is_ok());
+        let mut img = clean.clone();
+        img.corrupt_byte(17, 0x40);
+        match img.unpack() {
+            Err(HbmError::Corrupted { expected, found }) => {
+                assert_eq!(expected, clean.crc());
+                assert_ne!(expected, found);
+            }
+            other => panic!("corruption must be a typed error, got {other:?}"),
+        }
+        // Flipping the same byte back restores integrity.
+        img.corrupt_byte(17, 0x40);
+        assert_eq!(img.unpack().unwrap(), t);
+    }
+
+    #[test]
+    fn zero_mask_corruption_is_noop() {
+        let fmt = NumberFormat::from(FloatFormat::e5m2());
+        let t = quantized(
+            1,
+            8,
+            Quantizer::float(FloatFormat::e5m2(), Rounding::Nearest),
+        );
+        let mut img = HbmImage::pack(&t, fmt).unwrap();
+        img.corrupt_byte(3, 0);
         assert_eq!(img.unpack().unwrap(), t);
     }
 

@@ -1,0 +1,233 @@
+//! Fault-tolerant launch orchestration: retry with exponential
+//! backoff, then graceful degradation.
+//!
+//! One function, [`resilient_execute`], is the recovery loop shared
+//! by [`FpgaBackend`](crate::FpgaBackend) and `mpt_core::Device`:
+//! each launch consults the armed [`Injector`] at every fault site
+//! (bitstream load, HBM transfer, kernel launch), retries under a
+//! [`RetryPolicy`], and — when the budget is exhausted — tells the
+//! caller to degrade to the bit-identical CPU emulation path. Because
+//! every execution path produces the same bits, recovery never
+//! perturbs training: a faulted run must reproduce the fault-free
+//! golden weight digest (enforced by the conformance chaos suite).
+//!
+//! The HBM site is modeled concretely: the quantized `A` operand is
+//! packed into a CRC-checked [`HbmImage`](crate::hbm::HbmImage), the
+//! injector corrupts one byte "in flight", and the CRC verification
+//! on arrival must catch it — re-sending on the next attempt.
+
+use crate::hbm::HbmImage;
+use mpt_arith::{quantize_matrix, QGemmConfig};
+use mpt_faults::{Fault, FaultSite, Injector, RetryPolicy, Trigger};
+use mpt_formats::NumberFormat;
+use mpt_tensor::{ShapeError, Tensor};
+
+/// Runs `launch` with fault injection, retry and backoff.
+///
+/// Returns `Ok(Some(result))` when an attempt succeeds,
+/// `Ok(None)` when the retry budget is exhausted and the caller must
+/// fall back to CPU emulation (the `fault` telemetry events have
+/// already been emitted; the caller emits its `fallback` event), or
+/// `Err` for real shape errors, which are never retried.
+pub fn resilient_execute<T>(
+    inj: &Injector,
+    retry: &RetryPolicy,
+    layer: &'static str,
+    a: &Tensor,
+    cfg: &QGemmConfig,
+    launch: impl Fn() -> Result<T, ShapeError>,
+) -> Result<Option<T>, ShapeError> {
+    let launch_id = inj.next_launch();
+    for attempt in 0..retry.max_attempts {
+        match fault_at(inj, launch_id, attempt, a, cfg) {
+            None => return launch().map(Some),
+            Some(fault) => {
+                emit_fault_event(&fault, layer);
+                retry.sleep(attempt);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The first fault (if any) the plan injects at this attempt, walking
+/// the sites in launch order: bitstream load, HBM transfer, kernel
+/// launch.
+fn fault_at(
+    inj: &Injector,
+    launch: u64,
+    attempt: u32,
+    a: &Tensor,
+    cfg: &QGemmConfig,
+) -> Option<Fault> {
+    if let Some(f) = inj.check(FaultSite::BitstreamLoad, launch, attempt) {
+        return Some(f);
+    }
+    if let Some(f) = hbm_transfer(inj, launch, attempt, a, cfg) {
+        return Some(f);
+    }
+    if let Some(f) = inj.check(FaultSite::LaunchTimeout, launch, attempt) {
+        return Some(f);
+    }
+    inj.check(FaultSite::LaunchTransient, launch, attempt)
+}
+
+/// Models the HBM transfer of the quantized `A` operand through a
+/// CRC-checked image. Only materialized when the plan can fire the
+/// `HbmCorruption` site (the transfer itself is a host-side identity,
+/// so skipping it fault-free changes nothing).
+fn hbm_transfer(
+    inj: &Injector,
+    launch: u64,
+    attempt: u32,
+    a: &Tensor,
+    cfg: &QGemmConfig,
+) -> Option<Fault> {
+    if matches!(inj.plan().trigger(FaultSite::HbmCorruption), Trigger::Never) {
+        return None;
+    }
+    // Non-matrix operands and block formats (out-of-band exponent
+    // packing) fail in the launch itself; nothing to transfer here.
+    if a.as_matrix().is_err() {
+        return None;
+    }
+    let fmt = cfg.quant_a.format();
+    if matches!(fmt, NumberFormat::BlockFp(_)) {
+        return None;
+    }
+    let aq = quantize_matrix(a, &cfg.quant_a, 0, 0);
+    let mut img = HbmImage::pack(&aq, fmt).expect("quantized operand is a matrix");
+    match inj.check(FaultSite::HbmCorruption, launch, attempt) {
+        Some(fault) => {
+            let (byte, mask) = inj.corruption(img.byte_size(), launch);
+            img.corrupt_byte(byte, mask);
+            assert!(
+                img.unpack().is_err(),
+                "CRC-32 must catch a corrupted transfer byte"
+            );
+            Some(fault)
+        }
+        None => {
+            img.verify().expect("uncorrupted image verifies");
+            None
+        }
+    }
+}
+
+/// Emits the `fault` telemetry event and counter for one injected
+/// fault. No-op when telemetry is disabled.
+pub fn emit_fault_event(fault: &Fault, layer: &'static str) {
+    if !mpt_telemetry::enabled() {
+        return;
+    }
+    mpt_telemetry::event(&[
+        mpt_telemetry::json::Field::Str("type", "fault"),
+        mpt_telemetry::json::Field::Str("layer", layer),
+        mpt_telemetry::json::Field::Str("site", fault.site.name()),
+        mpt_telemetry::json::Field::U64("launch", fault.launch),
+        mpt_telemetry::json::Field::U64("attempt", fault.attempt as u64),
+    ]);
+    mpt_telemetry::counter(&format!("fault.injected.{}", fault.site.name())).incr();
+}
+
+/// Emits the `fallback` telemetry event and counter when a launch
+/// degrades to the CPU path. No-op when telemetry is disabled.
+pub fn emit_fallback_event(layer: &'static str, launch: u64, attempts: u32) {
+    if !mpt_telemetry::enabled() {
+        return;
+    }
+    mpt_telemetry::event(&[
+        mpt_telemetry::json::Field::Str("type", "fallback"),
+        mpt_telemetry::json::Field::Str("layer", layer),
+        mpt_telemetry::json::Field::U64("launch", launch),
+        mpt_telemetry::json::Field::U64("attempts", attempts as u64),
+    ]);
+    mpt_telemetry::counter("fault.fallback").incr();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_faults::FaultPlan;
+
+    fn operands() -> (Tensor, Tensor) {
+        (
+            Tensor::from_fn(vec![5, 7], |i| ((i * 13 % 17) as f32 - 8.0) * 0.1),
+            Tensor::from_fn(vec![7, 3], |i| ((i * 11 % 13) as f32 - 6.0) * 0.1),
+        )
+    }
+
+    #[test]
+    fn fault_free_plan_launches_first_try() {
+        let inj = Injector::new(FaultPlan::new(0));
+        let (a, b) = operands();
+        let cfg = QGemmConfig::fp8_fp12_sr();
+        let calls = std::cell::Cell::new(0u32);
+        let out = resilient_execute(&inj, &RetryPolicy::no_delay(3), "test", &a, &cfg, || {
+            calls.set(calls.get() + 1);
+            mpt_arith::qgemm(&a, &b, &cfg)
+        })
+        .unwrap();
+        assert!(out.is_some());
+        assert_eq!(calls.get(), 1);
+        assert_eq!(inj.injected_count(), 0);
+    }
+
+    #[test]
+    fn transient_fault_recovers_on_retry() {
+        let inj =
+            Injector::new(FaultPlan::new(1).with(FaultSite::LaunchTransient, Trigger::EveryNth(1)));
+        let (a, b) = operands();
+        let cfg = QGemmConfig::fp8_fp12_sr();
+        let out = resilient_execute(&inj, &RetryPolicy::no_delay(3), "test", &a, &cfg, || {
+            mpt_arith::qgemm(&a, &b, &cfg)
+        })
+        .unwrap();
+        assert!(out.is_some(), "retry must recover a first-attempt fault");
+        assert_eq!(inj.injected_at(FaultSite::LaunchTransient), 1);
+    }
+
+    #[test]
+    fn sticky_fault_exhausts_budget() {
+        let inj = Injector::new(
+            FaultPlan::new(1).with(FaultSite::LaunchTimeout, Trigger::StickyAtLaunch(1)),
+        );
+        let (a, b) = operands();
+        let cfg = QGemmConfig::fp8_fp12_sr();
+        let out = resilient_execute(&inj, &RetryPolicy::no_delay(3), "test", &a, &cfg, || {
+            mpt_arith::qgemm(&a, &b, &cfg)
+        })
+        .unwrap();
+        assert!(out.is_none(), "sticky fault must force CPU fallback");
+        assert_eq!(inj.injected_at(FaultSite::LaunchTimeout), 3);
+    }
+
+    #[test]
+    fn hbm_corruption_is_caught_and_retried() {
+        let inj =
+            Injector::new(FaultPlan::new(2).with(FaultSite::HbmCorruption, Trigger::AtLaunch(1)));
+        let (a, b) = operands();
+        let cfg = QGemmConfig::fp8_fp12_sr();
+        let out = resilient_execute(&inj, &RetryPolicy::no_delay(3), "test", &a, &cfg, || {
+            mpt_arith::qgemm(&a, &b, &cfg)
+        })
+        .unwrap();
+        assert!(out.is_some(), "re-sent transfer must succeed");
+        assert_eq!(inj.injected_at(FaultSite::HbmCorruption), 1);
+    }
+
+    #[test]
+    fn shape_errors_are_not_retried() {
+        let inj = Injector::new(FaultPlan::new(0));
+        let a = Tensor::zeros(vec![3, 4]);
+        let b = Tensor::zeros(vec![5, 2]);
+        let cfg = QGemmConfig::fp32();
+        let calls = std::cell::Cell::new(0u32);
+        let res = resilient_execute(&inj, &RetryPolicy::no_delay(5), "test", &a, &cfg, || {
+            calls.set(calls.get() + 1);
+            mpt_arith::qgemm(&a, &b, &cfg)
+        });
+        assert!(res.is_err());
+        assert_eq!(calls.get(), 1, "real errors must surface immediately");
+    }
+}

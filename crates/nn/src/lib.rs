@@ -52,8 +52,8 @@ pub use layers::{
     AvgPoolGlobal, BatchNorm2d, Conv2d, Embedding, Flatten, Gelu, Layer, LayerNorm, Linear,
     MaxPool2d, Relu, Sequential,
 };
-pub use loss_scale::AdaptiveLossScaler;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use loss_scale::{AdaptiveLossScaler, LossScaleState};
+pub use optim::{Adam, OptimState, Optimizer, Sgd};
 pub use param::Parameter;
 pub use precision::GemmPrecision;
 pub use tape::{Graph, NodeId};

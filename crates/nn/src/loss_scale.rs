@@ -30,6 +30,18 @@ pub struct AdaptiveLossScaler {
     overflows: u64,
 }
 
+/// Portable scaler state for checkpointing: everything needed to
+/// resume a training run with bit-identical loss-scale dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossScaleState {
+    /// Current loss scale.
+    pub scale: f32,
+    /// Good steps accumulated toward the next growth.
+    pub good_steps: u32,
+    /// Overflow events observed so far.
+    pub overflows: u64,
+}
+
 impl AdaptiveLossScaler {
     /// Creates a scaler with the paper's initial scale of 256,
     /// growth ×2 every 200 good steps, and backoff ×0.5 on overflow.
@@ -58,6 +70,25 @@ impl AdaptiveLossScaler {
     /// Number of overflow events observed so far.
     pub fn overflow_count(&self) -> u64 {
         self.overflows
+    }
+
+    /// Snapshots the scaler's dynamic state for checkpointing.
+    pub fn state(&self) -> LossScaleState {
+        LossScaleState {
+            scale: self.scale,
+            good_steps: self.good_steps,
+            overflows: self.overflows,
+        }
+    }
+
+    /// Restores a snapshot taken by [`state`](Self::state). The
+    /// hyper-parameters (growth/backoff factors, interval) keep their
+    /// current values; the scale is clamped to the backoff floor of 1
+    /// so a corrupted or hand-edited state can never disable scaling.
+    pub fn restore(&mut self, s: LossScaleState) {
+        self.scale = s.scale.max(1.0);
+        self.good_steps = s.good_steps;
+        self.overflows = s.overflows;
     }
 
     /// Inspects the parameters' gradients after a backward pass.
@@ -177,6 +208,59 @@ mod tests {
         let p = param(vec![f32::NAN]);
         s.unscale_or_skip(&[p]);
         assert_eq!(s.scale(), 1.0);
+    }
+
+    #[test]
+    fn backoff_floor_holds_under_repeated_overflow() {
+        // However many overflows hit in a row, the scale never drops
+        // below 1 — a dead scale (0 or denormal) would zero every
+        // gradient forever.
+        let mut s = AdaptiveLossScaler::with_scale(256.0);
+        for _ in 0..64 {
+            let p = param(vec![f32::INFINITY]);
+            assert!(!s.unscale_or_skip(&[p]));
+            assert!(s.scale() >= 1.0, "scale fell to {}", s.scale());
+        }
+        assert_eq!(s.scale(), 1.0);
+        assert_eq!(s.overflow_count(), 64);
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact() {
+        let mut s = AdaptiveLossScaler::with_scale(64.0);
+        for _ in 0..7 {
+            let p = param(vec![1.0]);
+            s.unscale_or_skip(&[p]);
+        }
+        let bad = param(vec![f32::NAN]);
+        s.unscale_or_skip(&[bad]);
+        let snap = s.state();
+        assert_eq!(snap.scale, 32.0);
+        assert_eq!(snap.good_steps, 0);
+        assert_eq!(snap.overflows, 1);
+
+        let mut fresh = AdaptiveLossScaler::new();
+        fresh.restore(snap);
+        assert_eq!(fresh.state(), snap);
+        // Both continue identically from here.
+        for _ in 0..5 {
+            let p1 = param(vec![2.0]);
+            let p2 = param(vec![2.0]);
+            assert_eq!(s.unscale_or_skip(&[p1]), fresh.unscale_or_skip(&[p2]));
+            assert_eq!(s.state(), fresh.state());
+        }
+    }
+
+    #[test]
+    fn restore_clamps_to_floor() {
+        let mut s = AdaptiveLossScaler::new();
+        s.restore(LossScaleState {
+            scale: 0.25,
+            good_steps: 3,
+            overflows: 9,
+        });
+        assert_eq!(s.scale(), 1.0, "restore must respect the backoff floor");
+        assert_eq!(s.overflow_count(), 9);
     }
 
     #[test]

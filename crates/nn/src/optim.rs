@@ -12,6 +12,21 @@ use mpt_formats::Quantizer;
 use mpt_tensor::Tensor;
 use std::collections::HashMap;
 
+/// Portable optimizer state for checkpointing.
+///
+/// Slot tensors are keyed by **parameter position** in the `params`
+/// slice handed to [`Optimizer::step`] — never by [`Parameter::id`],
+/// which is an `Rc` pointer address and not stable across processes.
+/// `slots[i]` holds parameter `i`'s moment tensors in optimizer
+/// order: `[velocity]` for [`Sgd`], `[m, v]` for [`Adam`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimState {
+    /// The optimizer's step counter (`step_count` / `t`).
+    pub step: u64,
+    /// Per-parameter moment tensors, in parameter order.
+    pub slots: Vec<Vec<Tensor>>,
+}
+
 /// A gradient-descent optimizer.
 pub trait Optimizer {
     /// Applies one update step from the parameters' accumulated
@@ -31,6 +46,40 @@ pub trait Optimizer {
 
     /// Replaces the learning rate (for schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Snapshots the optimizer's moment state for the given parameter
+    /// slice, keyed by position (see [`OptimState`]). Parameters the
+    /// optimizer has never stepped export zero moments.
+    fn export_state(&self, params: &[Parameter]) -> OptimState;
+
+    /// Restores a snapshot taken by
+    /// [`export_state`](Optimizer::export_state) against the **same
+    /// parameter slice order**. Replaces all existing moment state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not match `params` in length or tensor
+    /// shapes — a checkpoint/model mismatch is a caller bug.
+    fn restore_state(&mut self, params: &[Parameter], state: &OptimState);
+}
+
+/// Shape-checks one state slot against its parameter.
+fn check_slot(p: &Parameter, slot: &[Tensor], want: usize, opt: &str) {
+    assert_eq!(
+        slot.len(),
+        want,
+        "{opt} state slot for '{}' has {} tensors, expected {want}",
+        p.name(),
+        slot.len()
+    );
+    for t in slot {
+        assert_eq!(
+            t.shape(),
+            p.value().shape(),
+            "{opt} state shape mismatch for parameter '{}'",
+            p.name()
+        );
+    }
 }
 
 /// Stochastic gradient descent with momentum and weight decay — the
@@ -74,7 +123,7 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &[Parameter]) {
         self.step_count += 1;
-        for p in params {
+        for (pi, p) in params.iter().enumerate() {
             let key = Sgd::key(p);
             let grad = p.grad().clone();
             let mut value = p.value_mut();
@@ -96,9 +145,13 @@ impl Optimizer for Sgd {
                     None => *w -= self.lr * *vel,
                     Some(q) => {
                         // Quantized update path: every intermediate is
-                        // rounded to the update format.
-                        let base = self.step_count.wrapping_mul(0x5851_F42D)
-                            ^ (key as u64).rotate_left(17);
+                        // rounded to the update format. The SR seed is
+                        // built from (step, parameter position, element)
+                        // — all logical coordinates, so the rounding
+                        // sequence is reproducible across processes
+                        // (required for bit-exact checkpoint resume).
+                        let base =
+                            self.step_count.wrapping_mul(0x5851_F42D) ^ (pi as u64).rotate_left(17);
                         let wq = q.quantize_f32(*w, base.wrapping_add(idx as u64 * 3));
                         let step =
                             q.quantize_f32(self.lr * *vel, base.wrapping_add(idx as u64 * 3 + 1));
@@ -115,6 +168,38 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn export_state(&self, params: &[Parameter]) -> OptimState {
+        OptimState {
+            step: self.step_count,
+            slots: params
+                .iter()
+                .map(|p| {
+                    vec![self
+                        .velocity
+                        .get(&p.id())
+                        .cloned()
+                        .unwrap_or_else(|| Tensor::zeros(p.value().shape().to_vec()))]
+                })
+                .collect(),
+        }
+    }
+
+    fn restore_state(&mut self, params: &[Parameter], state: &OptimState) {
+        assert_eq!(
+            params.len(),
+            state.slots.len(),
+            "SGD state has {} parameter slots, model has {}",
+            state.slots.len(),
+            params.len()
+        );
+        self.step_count = state.step;
+        self.velocity.clear();
+        for (p, slot) in params.iter().zip(&state.slots) {
+            check_slot(p, slot, 1, "SGD");
+            self.velocity.insert(p.id(), slot[0].clone());
+        }
     }
 }
 
@@ -165,7 +250,7 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for p in params {
+        for (pi, p) in params.iter().enumerate() {
             let key = p.id();
             let grad = p.grad().clone();
             let mut value = p.value_mut();
@@ -191,7 +276,8 @@ impl Optimizer for Adam {
                 match &self.update_quant {
                     None => *w -= step,
                     Some(q) => {
-                        let base = self.t.wrapping_mul(0x2545_F491) ^ (key as u64).rotate_left(23);
+                        // Seeded by logical coordinates, as in SGD.
+                        let base = self.t.wrapping_mul(0x2545_F491) ^ (pi as u64).rotate_left(23);
                         let wq = q.quantize_f32(*w, base.wrapping_add(idx as u64 * 3));
                         let sq = q.quantize_f32(step, base.wrapping_add(idx as u64 * 3 + 1));
                         *w = q.quantize_f32(wq - sq, base.wrapping_add(idx as u64 * 3 + 2));
@@ -207,6 +293,39 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn export_state(&self, params: &[Parameter]) -> OptimState {
+        OptimState {
+            step: self.t,
+            slots: params
+                .iter()
+                .map(|p| match self.moments.get(&p.id()) {
+                    Some((m, v)) => vec![m.clone(), v.clone()],
+                    None => {
+                        let z = Tensor::zeros(p.value().shape().to_vec());
+                        vec![z.clone(), z]
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn restore_state(&mut self, params: &[Parameter], state: &OptimState) {
+        assert_eq!(
+            params.len(),
+            state.slots.len(),
+            "Adam state has {} parameter slots, model has {}",
+            state.slots.len(),
+            params.len()
+        );
+        self.t = state.step;
+        self.moments.clear();
+        for (p, slot) in params.iter().zip(&state.slots) {
+            check_slot(p, slot, 2, "Adam");
+            self.moments
+                .insert(p.id(), (slot[0].clone(), slot[1].clone()));
+        }
     }
 }
 
@@ -303,6 +422,105 @@ mod tests {
         let mut a = Adam::new(1e-4).with_betas(0.8, 0.95);
         a.set_learning_rate(1e-3);
         assert_eq!(a.learning_rate(), 1e-3);
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_resumes_bit_exactly() {
+        let run = |resume_at: Option<usize>| -> Vec<f32> {
+            let p = Parameter::new("w", Tensor::from_vec(vec![2], vec![1.0, -2.0]).unwrap());
+            let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+            let mut snapshot = None;
+            for step in 0..8 {
+                if resume_at == Some(step) {
+                    // Swap in a fresh optimizer restored from state —
+                    // the continuation must not notice.
+                    let (state, _) = snapshot.take().unwrap();
+                    let mut fresh = Sgd::new(0.05, 0.9, 1e-4);
+                    fresh.restore_state(std::slice::from_ref(&p), &state);
+                    opt = fresh;
+                }
+                p.zero_grad();
+                let g: Vec<f32> = p.value().data().iter().map(|w| 0.3 * w + 0.1).collect();
+                p.accumulate_grad(&Tensor::from_vec(vec![2], g).unwrap());
+                opt.step(std::slice::from_ref(&p));
+                if step == 3 {
+                    snapshot = Some((opt.export_state(std::slice::from_ref(&p)), step));
+                }
+            }
+            let weights = p.value().data().to_vec();
+            weights
+        };
+        let uninterrupted = run(None);
+        let resumed = run(Some(4));
+        assert_eq!(
+            uninterrupted
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            resumed.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "restored SGD diverged from the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bit_exactly() {
+        let run = |resume_at: Option<usize>| -> Vec<f32> {
+            let p = Parameter::new(
+                "w",
+                Tensor::from_vec(vec![3], vec![0.5, -0.25, 2.0]).unwrap(),
+            );
+            let mut opt = Adam::new(0.01);
+            let mut snapshot = None;
+            for step in 0..8 {
+                if resume_at == Some(step) {
+                    let state: OptimState = snapshot.take().unwrap();
+                    let mut fresh = Adam::new(0.01);
+                    fresh.restore_state(std::slice::from_ref(&p), &state);
+                    opt = fresh;
+                }
+                p.zero_grad();
+                let g: Vec<f32> = p.value().data().iter().map(|w| 2.0 * (w - 3.0)).collect();
+                p.accumulate_grad(&Tensor::from_vec(vec![3], g).unwrap());
+                opt.step(std::slice::from_ref(&p));
+                if step == 3 {
+                    snapshot = Some(opt.export_state(std::slice::from_ref(&p)));
+                }
+            }
+            let weights = p.value().data().to_vec();
+            weights
+        };
+        let uninterrupted = run(None);
+        let resumed = run(Some(4));
+        assert_eq!(
+            uninterrupted
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            resumed.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "restored Adam diverged from the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn export_before_any_step_gives_zero_moments() {
+        let p = param_with_grad(vec![1.0, 2.0], vec![0.0, 0.0]);
+        let opt = Sgd::new(0.1, 0.9, 0.0);
+        let state = opt.export_state(std::slice::from_ref(&p));
+        assert_eq!(state.step, 0);
+        assert_eq!(state.slots.len(), 1);
+        assert_eq!(state.slots[0][0], Tensor::zeros(vec![2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "state shape mismatch")]
+    fn restore_rejects_shape_mismatch() {
+        let p = param_with_grad(vec![1.0, 2.0], vec![0.0, 0.0]);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let state = OptimState {
+            step: 1,
+            slots: vec![vec![Tensor::zeros(vec![3])]],
+        };
+        opt.restore_state(std::slice::from_ref(&p), &state);
     }
 
     #[test]

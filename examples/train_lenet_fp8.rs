@@ -6,29 +6,80 @@
 //! cargo run --release -p mpt-core --example train_lenet_fp8
 //! ```
 //!
+//! Flags:
+//!
+//! * `--checkpoint-every <N>` — atomically save a resumable
+//!   checkpoint every N batches (per-config file, default base path
+//!   `lenet_fp8.ckpt`);
+//! * `--checkpoint <path>` — override the checkpoint base path;
+//! * `--resume` — resume each config's run from its checkpoint
+//!   (bit-identical to never having stopped).
+//!
 //! Set `MPT_TELEMETRY=1` (or point `MPT_TELEMETRY_JSONL` at a file)
 //! to watch the run: per-quantizer saturation/rounding counters,
 //! per-layer forward/backward time, per-GEMM spans, loss-scale
 //! events, and a perf-model calibration record for the accelerator
 //! the offline matcher would pick for this workload.
 
-use mpt_arith::GemmShape;
+use mpt_arith::{CpuBackend, GemmShape};
 use mpt_core::select_accelerator;
-use mpt_core::trainer::{evaluate_cnn, train_cnn, TrainConfig};
+use mpt_core::trainer::{evaluate_cnn, train_cnn_resumable, TrainConfig, TrainOptions};
 use mpt_data::synthetic_mnist;
 use mpt_fpga::SynthesisDb;
 use mpt_models::lenet5;
 use mpt_nn::{GemmPrecision, Sgd};
+use std::rc::Rc;
+
+struct Args {
+    checkpoint_every: Option<usize>,
+    checkpoint_path: String,
+    resume: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        checkpoint_every: None,
+        checkpoint_path: "lenet_fp8.ckpt".to_string(),
+        resume: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--checkpoint-every" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--checkpoint-every takes a batch count");
+                args.checkpoint_every = Some(n);
+            }
+            "--checkpoint" => {
+                args.checkpoint_path = it.next().expect("--checkpoint takes a path");
+            }
+            "--resume" => args.resume = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}\n\
+                     usage: train_lenet_fp8 [--checkpoint-every <N>] \
+                     [--checkpoint <path>] [--resume]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
 
 fn main() {
+    let args = parse_args();
     let telemetry = mpt_telemetry::init_from_env();
     let train = synthetic_mnist(512, 1);
     let test = synthetic_mnist(256, 2);
 
-    for (label, prec) in [
-        ("FP32 baseline (E8M23-RN)", GemmPrecision::fp32()),
+    for (label, tag, prec) in [
+        ("FP32 baseline (E8M23-RN)", "fp32", GemmPrecision::fp32()),
         (
             "FP8 x FP12-SR (paper config)",
+            "fp8",
             GemmPrecision::fp8_fp12_sr().with_seed(3),
         ),
     ] {
@@ -38,8 +89,15 @@ fn main() {
             "  untrained accuracy: {:.2}%",
             evaluate_cnn(&model, &test, 32)
         );
+        // One checkpoint file per precision config.
+        let mut opts = TrainOptions::default();
+        if args.checkpoint_every.is_some() || args.resume {
+            opts.checkpoint_path = Some(format!("{}.{tag}", args.checkpoint_path).into());
+            opts.checkpoint_every = args.checkpoint_every;
+            opts.resume = args.resume;
+        }
         let mut opt = Sgd::new(0.02, 0.9, 0.0);
-        let report = train_cnn(
+        let report = match train_cnn_resumable(
             &model,
             &mut opt,
             &train,
@@ -50,7 +108,15 @@ fn main() {
                 loss_scale: 256.0,
                 seed: 0,
             },
-        );
+            Rc::new(CpuBackend::new()),
+            &opts,
+        ) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("checkpoint error: {e}");
+                std::process::exit(1);
+            }
+        };
         for (e, loss) in report.epoch_losses.iter().enumerate() {
             println!("  epoch {e}: mean loss {loss:.4}");
         }
