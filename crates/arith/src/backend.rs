@@ -14,7 +14,7 @@ use mpt_tensor::{ShapeError, Tensor};
 ///
 /// Implementations must be *numerically equivalent* to the emulation
 /// kernel: for any inputs and configuration, `gemm` returns exactly
-/// the same bits as [`crate::qgemm`]. The accelerator simulator in
+/// the same bits as [`crate::qgemm()`]. The accelerator simulator in
 /// `mpt-fpga` satisfies this (asserted by integration tests) while
 /// additionally accounting its cycle-level latency.
 pub trait GemmBackend {
@@ -29,6 +29,13 @@ pub trait GemmBackend {
     fn label(&self) -> String {
         "backend".into()
     }
+
+    /// Marks a training-step boundary: backends that stage work
+    /// across launches (the pipelined FPGA executor's launch queue)
+    /// drain it here, so latency accounting never straddles an
+    /// optimizer update. The trainer calls this once per batch; the
+    /// default is a no-op, so purely eager backends pay nothing.
+    fn step_boundary(&self) {}
 }
 
 /// The default backend: multi-threaded bit-accurate CPU emulation.

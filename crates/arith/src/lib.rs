@@ -52,6 +52,6 @@ pub mod shape;
 
 pub use backend::{gemm_span, CpuBackend, GemmBackend};
 pub use mac::{input_event_index, mac_step, mac_step_tallied, sr_event_index, MacConfig, MacStage};
-pub use parallel::{default_threads, pool_workers, qgemm_parallel};
+pub use parallel::{default_threads, pool_execute, pool_workers, qgemm_parallel};
 pub use qgemm::{qgemm, qgemm_reference, qgemm_with_offsets, quantize_matrix, QGemmConfig};
 pub use shape::GemmShape;

@@ -3,7 +3,7 @@
 //! [`MacConfig`] describes one hardware MAC: the format/rounding of
 //! the multiplier output and of the accumulator. [`mac_step`] performs
 //! one reduction step with bit-accurate semantics and is shared by the
-//! CPU emulation GEMM ([`crate::qgemm`]) and the systolic-array
+//! CPU emulation GEMM ([`crate::qgemm()`]) and the systolic-array
 //! simulator in `mpt-fpga`, which is what guarantees the two paths
 //! agree bit-for-bit.
 

@@ -137,14 +137,14 @@ fn split_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
 /// Computes `A · B` under `cfg` using up to `threads` concurrent
 /// tiles, executed on the persistent worker pool.
 ///
-/// Bit-identical to [`crate::qgemm`] — tiles are computed with their
+/// Bit-identical to [`crate::qgemm()`] — tiles are computed with their
 /// global row/column offsets so stochastic rounding draws the same
 /// bits, and operands are quantized once with global coordinates.
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError`] under the same conditions as
-/// [`crate::qgemm`].
+/// [`crate::qgemm()`].
 pub fn qgemm_parallel(
     a: &Tensor,
     b: &Tensor,
@@ -236,6 +236,15 @@ pub fn qgemm_parallel(
 /// call). Exposed for diagnostics and tests.
 pub fn pool_workers() -> usize {
     pool().workers
+}
+
+/// Runs an arbitrary job on the persistent worker pool (spawning it
+/// on first use). The job's panics are contained by the pool's
+/// workers; detect failure through whatever channel the job reports
+/// on. Used by the pipelined FPGA executor to overlap its emulated
+/// compute stage with host-side packing of the next launch.
+pub fn pool_execute(job: impl FnOnce() + Send + 'static) {
+    pool().submit(Box::new(job));
 }
 
 #[cfg(test)]

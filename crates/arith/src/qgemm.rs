@@ -99,6 +99,20 @@ impl fmt::Display for QGemmConfig {
 ///
 /// Returns [`ShapeError`] if the operands are not rank-2 or the inner
 /// dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use mpt_arith::{qgemm, QGemmConfig};
+/// use mpt_tensor::Tensor;
+///
+/// let a = Tensor::from_fn(vec![2, 3], |i| i as f32 * 0.25);
+/// let b = Tensor::from_fn(vec![3, 2], |i| 1.0 - i as f32 * 0.125);
+/// // The paper's headline pipeline: FP8 operands, FP12-SR MAC.
+/// let c = qgemm(&a, &b, &QGemmConfig::fp8_fp12_sr())?;
+/// assert_eq!(c.shape(), &[2, 2]);
+/// # Ok::<(), mpt_tensor::ShapeError>(())
+/// ```
 pub fn qgemm(a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
     qgemm_with_offsets(a, b, cfg, 0, 0)
 }

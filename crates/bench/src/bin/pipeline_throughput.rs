@@ -1,0 +1,196 @@
+//! Eager vs pipelined FPGA execution on a replayed LeNet5 training
+//! step: wall-clock, operand-cache effect, and modeled (overlap-aware)
+//! hardware latency.
+//!
+//! The same per-iteration GEMM sequence (all forward and backward
+//! products of one LeNet5 step) is replayed with frozen operands —
+//! the steady state of evaluation / inference serving — through three
+//! executors:
+//!
+//! * **eager** — [`FpgaBackend`], every launch re-quantizes and
+//!   re-packs both operands;
+//! * **pipelined** — [`FpgaBackend::pipelined`], launches are staged
+//!   and operands served from the packed-operand cache (warm
+//!   iterations pack nothing);
+//! * **overlapped** — [`PipelinedExecutor::execute_batch`], which
+//!   additionally runs fabric compute on the worker pool while the
+//!   caller packs the next launch.
+//!
+//! All three produce bit-identical results (asserted). A JSON report
+//! goes to `$MPT_BENCH_JSON` (default `BENCH_pipeline.json`).
+//!
+//! ```text
+//! cargo run --release -p mpt-bench --bin pipeline_throughput
+//! ```
+
+use mpt_arith::{GemmBackend, GemmShape, QGemmConfig};
+use mpt_bench::scale::{run_scale, RunScale};
+use mpt_fpga::{
+    estimate_workload, estimate_workload_pipelined, Accelerator, FpgaBackend, PipelinedExecutor,
+    SaConfig, DEFAULT_CACHE_BUDGET,
+};
+use mpt_models::ModelDesc;
+use mpt_tensor::Tensor;
+use std::time::Instant;
+
+fn operands(shape: GemmShape, seed: u64) -> (Tensor, Tensor) {
+    let gen = |rows: usize, cols: usize, tag: u64| {
+        Tensor::from_fn(vec![rows, cols], |i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(tag.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            ((x >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+    };
+    (
+        gen(shape.n, shape.k, seed * 2 + 1),
+        gen(shape.k, shape.m, seed * 2 + 2),
+    )
+}
+
+fn main() {
+    let telemetry = mpt_telemetry::init_from_env();
+    let (batch, iters) = match run_scale() {
+        RunScale::Quick => (1, 12),
+        RunScale::Default => (2, 12),
+        RunScale::Full => (8, 24),
+    };
+    let model = ModelDesc::lenet5(batch);
+    let workload = model.training_gemms();
+    let cfg = QGemmConfig::fp8_fp12_sr().with_seed(17);
+    let sa = SaConfig::new(8, 8, 4).expect("valid");
+    let freq = 298.0;
+    let ops: Vec<(Tensor, Tensor)> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| operands(s, i as u64))
+        .collect();
+    println!(
+        "LeNet5 step replay: batch {batch}, {} GEMMs/iter x {iters} iters on {sa}@{freq}MHz\n",
+        workload.len()
+    );
+
+    // Eager: every launch re-quantizes and re-packs.
+    let eager = FpgaBackend::new(Accelerator::new(sa, freq));
+    let t0 = Instant::now();
+    let mut golden: Vec<Tensor> = Vec::new();
+    for it in 0..iters {
+        for (a, b) in &ops {
+            let c = eager.gemm(a, b, &cfg).expect("conforming");
+            if it == 0 {
+                golden.push(c);
+            }
+        }
+    }
+    let eager_wall = t0.elapsed().as_secs_f64();
+
+    // Pipelined: staged launches over the packed-operand cache.
+    let pipelined = FpgaBackend::new(Accelerator::new(sa, freq)).pipelined();
+    let t0 = Instant::now();
+    let mut cold = None;
+    for it in 0..iters {
+        for (j, (a, b)) in ops.iter().enumerate() {
+            let c = pipelined.gemm(a, b, &cfg).expect("conforming");
+            assert_eq!(c, golden[j], "pipelined diverged from eager");
+        }
+        pipelined.step_boundary();
+        if it == 0 {
+            cold = pipelined.cache_stats();
+        }
+    }
+    let pipelined_wall = t0.elapsed().as_secs_f64();
+    let cold = cold.expect("pipelined mode");
+    let total = pipelined.cache_stats().expect("pipelined mode");
+    let warm_packs = total.packs - cold.packs;
+    let warm_bytes = total.bytes_packed - cold.bytes_packed;
+    // Eager packs every operand every iteration; the cache packs only
+    // on cold misses. Ratios are per whole run.
+    let eager_packs = cold.packs * iters as u64;
+    let eager_bytes = cold.bytes_packed * iters as u64;
+    let pack_reduction = eager_packs as f64 / total.packs.max(1) as f64;
+    let bytes_reduction = eager_bytes as f64 / total.bytes_packed.max(1) as f64;
+
+    // Overlapped: execute_batch computes launch i on the worker pool
+    // while the caller packs launch i+1.
+    let mut px = PipelinedExecutor::new(Accelerator::new(sa, freq), DEFAULT_CACHE_BUDGET);
+    let batch_items: Vec<(&Tensor, &Tensor, QGemmConfig)> =
+        ops.iter().map(|(a, b)| (a, b, cfg)).collect();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let out = px.execute_batch(&batch_items).expect("conforming");
+        for (j, c) in out.iter().enumerate() {
+            assert_eq!(c, &golden[j], "overlapped diverged from eager");
+        }
+        px.flush();
+    }
+    let overlapped_wall = t0.elapsed().as_secs_f64();
+
+    // Modeled hardware latency for one iteration: eager stage sums vs
+    // the overlap-aware pipeline recurrence.
+    let modeled_eager = estimate_workload(&workload, sa, freq, 8, 8);
+    let modeled_pipelined = estimate_workload_pipelined(&workload, sa, freq, 8, 8);
+    let accounted_eager = px.eager_elapsed_s() / iters as f64;
+    let accounted_pipelined = px.pipelined_elapsed_s() / iters as f64;
+
+    println!("host wall-clock ({iters} iters):");
+    println!("  eager      {eager_wall:>8.3} s");
+    println!(
+        "  pipelined  {pipelined_wall:>8.3} s   ({:.2}x)",
+        eager_wall / pipelined_wall
+    );
+    println!(
+        "  overlapped {overlapped_wall:>8.3} s   ({:.2}x)",
+        eager_wall / overlapped_wall
+    );
+    println!("\noperand cache over the run:");
+    println!(
+        "  cold iter: {} packs, {} bytes; warm iters: {} packs, {} bytes",
+        cold.packs, cold.bytes_packed, warm_packs, warm_bytes
+    );
+    println!(
+        "  vs eager ({eager_packs} packs, {eager_bytes} bytes): \
+         {pack_reduction:.1}x fewer packs, {bytes_reduction:.1}x fewer bytes"
+    );
+    println!("\nmodeled hardware latency per iteration:");
+    println!("  eager     {:>12.6} s  (perf model)", modeled_eager);
+    println!(
+        "  pipelined {:>12.6} s  (overlap-aware, {:.2}x)",
+        modeled_pipelined,
+        modeled_eager / modeled_pipelined
+    );
+    println!(
+        "  accounted {:>12.6} s eager / {:>.6} s overlapped (cycle-level clock)",
+        accounted_eager, accounted_pipelined
+    );
+
+    let path =
+        std::env::var("MPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let json = format!(
+        "{{\n  \"workload\": \"lenet5\",\n  \"batch\": {batch},\n  \
+         \"gemms_per_iter\": {gemms},\n  \"iters\": {iters},\n  \
+         \"config\": \"{sa}@{freq}MHz\",\n  \
+         \"eager_wall_s\": {eager_wall:.6},\n  \
+         \"pipelined_wall_s\": {pipelined_wall:.6},\n  \
+         \"overlapped_wall_s\": {overlapped_wall:.6},\n  \
+         \"cold_packs\": {cold_packs},\n  \"cold_bytes\": {cold_bytes},\n  \
+         \"warm_packs\": {warm_packs},\n  \"warm_bytes\": {warm_bytes},\n  \
+         \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \
+         \"pack_reduction\": {pack_reduction:.2},\n  \
+         \"bytes_reduction\": {bytes_reduction:.2},\n  \
+         \"modeled_eager_s\": {modeled_eager:.9},\n  \
+         \"modeled_pipelined_s\": {modeled_pipelined:.9},\n  \
+         \"accounted_eager_s\": {accounted_eager:.9},\n  \
+         \"accounted_pipelined_s\": {accounted_pipelined:.9}\n}}\n",
+        gemms = workload.len(),
+        cold_packs = cold.packs,
+        cold_bytes = cold.bytes_packed,
+        hits = total.hits,
+        misses = total.misses,
+    );
+    std::fs::write(&path, json).expect("write bench JSON");
+    println!("\nwrote {path}");
+    if telemetry {
+        println!("\n{}", mpt_telemetry::Snapshot::capture().render_table());
+        mpt_telemetry::sink::flush();
+    }
+}

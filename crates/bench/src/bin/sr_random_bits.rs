@@ -1,7 +1,7 @@
 //! The stochastic-rounding random-bit study (paper Section V-B-1).
 //!
 //! The paper notes that FP12-SR with 13 random bits matches FP16-RN
-//! accuracy [10], while their 10-bit experiments show slight
+//! accuracy \[10\], while their 10-bit experiments show slight
 //! degradation. This experiment isolates the mechanism: accumulation
 //! error of a long positive-mean dot product (the stagnation regime)
 //! in an `E6M5` accumulator as a function of the SR unit's

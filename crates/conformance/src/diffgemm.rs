@@ -6,17 +6,21 @@
 //! that every execution path produces the *same bits* as the scalar
 //! oracle [`mpt_arith::qgemm_reference`]:
 //!
-//! * the dispatched fast kernels ([`mpt_arith::qgemm`]),
+//! * the dispatched fast kernels ([`mpt_arith::qgemm()`]),
 //! * the persistent-pool tiles ([`mpt_arith::qgemm_parallel`]) at
 //!   1/2/4/8 threads,
 //! * the systolic-array simulator
-//!   ([`mpt_fpga::Accelerator::execute`]).
+//!   ([`mpt_fpga::Accelerator::execute`]),
+//! * the staged/cached executor
+//!   ([`mpt_fpga::PipelinedExecutor::launch`]), both on a cold
+//!   operand cache and on a warm one (the second launch replays from
+//!   resident packed operands).
 
 use crate::corpus::Corpus;
 use crate::digest::{bits_equal, first_divergence};
 use mpt_arith::{qgemm, qgemm_parallel, qgemm_reference, MacConfig, QGemmConfig};
 use mpt_formats::{BlockFpFormat, FixedFormat, FloatFormat, NumberFormat, Quantizer, Rounding};
-use mpt_fpga::{Accelerator, SaConfig};
+use mpt_fpga::{Accelerator, PipelinedExecutor, SaConfig, DEFAULT_CACHE_BUDGET};
 use mpt_tensor::Tensor;
 
 /// Thread counts every parallel-path check runs at.
@@ -118,7 +122,8 @@ pub fn degenerate_shapes() -> &'static [(usize, usize, usize)] {
 }
 
 /// Asserts `qgemm_reference ≡ qgemm ≡ qgemm_parallel(1/2/4/8) ≡
-/// fpga::sim::execute`, bit-for-bit, on the given operands.
+/// fpga::sim::execute ≡ pipelined launch (cold and warm cache)`,
+/// bit-for-bit, on the given operands.
 ///
 /// # Errors
 ///
@@ -167,6 +172,16 @@ pub fn check_all_paths(
         .execute(a, b, cfg)
         .map_err(|e| format!("{name}: fpga execute failed: {e}"))?;
     compare("fpga::sim::execute", &fpga)?;
+
+    let mut px = PipelinedExecutor::new(acc, DEFAULT_CACHE_BUDGET);
+    let (cold, _) = px
+        .launch(a, b, cfg)
+        .map_err(|e| format!("{name}: pipelined cold launch failed: {e}"))?;
+    compare("fpga pipelined (cold cache)", &cold)?;
+    let (warm, _) = px
+        .launch(a, b, cfg)
+        .map_err(|e| format!("{name}: pipelined warm launch failed: {e}"))?;
+    compare("fpga pipelined (warm cache)", &warm)?;
 
     Ok(())
 }

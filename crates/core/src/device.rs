@@ -14,12 +14,17 @@
 use mpt_arith::{default_threads, qgemm_parallel, QGemmConfig};
 use mpt_faults::{FaultPlan, Injector, RetryPolicy};
 use mpt_fpga::{
-    emit_fallback_event, resilient_execute, Accelerator, MeasuredLatency, SaConfig, SynthesisDb,
+    emit_fallback_event, resilient_execute, Accelerator, CacheStats, MeasuredLatency,
+    PipelinedExecutor, SaConfig, StageTimes, SynthesisDb, DEFAULT_CACHE_BUDGET,
 };
 use mpt_tensor::{ShapeError, Tensor};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 /// Where custom-precision GEMMs execute.
+// Devices are constructed once per run, never per-GEMM, so the size
+// asymmetry against the payload-free `Cpu` variant costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Device {
     /// Bit-accurate software emulation on the host CPU.
@@ -39,6 +44,10 @@ pub struct FpgaDevice {
     injector: Option<Injector>,
     retry: RetryPolicy,
     fallbacks: Cell<u64>,
+    // Shared (`Rc`) so a cloned device keeps hitting the same operand
+    // cache and launch queue — cloning must not silently double the
+    // packing work.
+    pipeline: Option<Rc<RefCell<PipelinedExecutor>>>,
 }
 
 impl FpgaDevice {
@@ -49,6 +58,53 @@ impl FpgaDevice {
             injector: None,
             retry: RetryPolicy::default(),
             fallbacks: Cell::new(0),
+            pipeline: None,
+        }
+    }
+
+    /// Switches the device to the staged launch queue: operands are
+    /// packed once and cached device-side, and launches are split into
+    /// pack → transfer → compute → unpack stages whose overlap the
+    /// device accounts (see [`Self::pipelined_elapsed_s`]). Results
+    /// stay bit-identical to the eager path.
+    pub fn pipelined(self) -> Self {
+        self.pipelined_with_budget(DEFAULT_CACHE_BUDGET)
+    }
+
+    /// [`Self::pipelined`] with an explicit operand-cache byte budget
+    /// (`0` disables caching, making every launch re-pack).
+    pub fn pipelined_with_budget(mut self, budget_bytes: usize) -> Self {
+        self.pipeline = Some(Rc::new(RefCell::new(PipelinedExecutor::new(
+            self.accelerator.clone(),
+            budget_bytes,
+        ))));
+        self
+    }
+
+    /// `true` when launches go through the staged queue.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Operand-cache counters, when pipelined.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.pipeline.as_ref().map(|p| p.borrow().cache_stats())
+    }
+
+    /// Overlap-aware elapsed hardware time across all launches so far
+    /// (`0.0` for an eager device).
+    pub fn pipelined_elapsed_s(&self) -> f64 {
+        self.pipeline
+            .as_ref()
+            .map_or(0.0, |p| p.borrow().pipelined_elapsed_s())
+    }
+
+    /// Drains the staged launch queue at a training-step boundary so
+    /// latency accounting never straddles an optimizer update. No-op
+    /// for an eager device.
+    pub fn step_boundary(&self) {
+        if let Some(p) = &self.pipeline {
+            p.borrow_mut().flush();
         }
     }
 
@@ -80,12 +136,52 @@ impl FpgaDevice {
         self.fallbacks.get()
     }
 
+    /// Reassembles a [`MeasuredLatency`] from per-stage times so the
+    /// pipelined path reports through the same type as the eager one.
+    /// `data_s` counts only bytes actually moved — cache hits shrink
+    /// it to the result stream-back.
+    fn latency_of_stages(&self, t: &StageTimes) -> MeasuredLatency {
+        let core_s = (t.compute_s - mpt_fpga::sim::LAUNCH_OVERHEAD_S).max(0.0);
+        MeasuredLatency {
+            core_cycles: (core_s * self.accelerator.freq_mhz() * 1.0e6).round() as u64,
+            core_s,
+            data_s: t.transfer_s + t.unpack_s,
+            total_s: t.eager_s(),
+        }
+    }
+
+    fn execute_pipelined(
+        &self,
+        px: &Rc<RefCell<PipelinedExecutor>>,
+        a: &Tensor,
+        b: &Tensor,
+        cfg: &QGemmConfig,
+    ) -> Result<(Tensor, Option<MeasuredLatency>), ShapeError> {
+        let mut px = px.borrow_mut();
+        let launched = match &self.injector {
+            None => Some(px.launch(a, b, cfg)?),
+            Some(inj) => px.launch_resilient(inj, &self.retry, a, b, cfg)?,
+        };
+        match launched {
+            Some((c, times)) => Ok((c, Some(self.latency_of_stages(&times)))),
+            None => {
+                self.fallbacks.set(self.fallbacks.get() + 1);
+                let launch = self.injector.as_ref().map_or(0, |i| i.launch_count());
+                emit_fallback_event("device-pipelined", launch, self.retry.max_attempts);
+                Ok((qgemm_parallel(a, b, cfg, default_threads())?, None))
+            }
+        }
+    }
+
     fn execute(
         &self,
         a: &Tensor,
         b: &Tensor,
         cfg: &QGemmConfig,
     ) -> Result<(Tensor, Option<MeasuredLatency>), ShapeError> {
+        if let Some(px) = &self.pipeline {
+            return self.execute_pipelined(&Rc::clone(px), a, b, cfg);
+        }
         let Some(inj) = &self.injector else {
             let (c, lat) = self.accelerator.execute(a, b, cfg)?;
             return Ok((c, Some(lat)));
@@ -123,6 +219,35 @@ impl Device {
             .frequency(n, m, c)
             .expect("validated configuration has a frequency");
         Ok(Device::Fpga(FpgaDevice::new(Accelerator::new(cfg, freq))))
+    }
+
+    /// [`Device::fpga`] routed through the staged launch queue with
+    /// packed-operand caching — repeat launches on unchanged operands
+    /// (frozen weights, replayed activations) skip the pack and
+    /// transfer stages entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mpt_fpga::ConfigError`] if the configuration is
+    /// invalid or absent from the database.
+    pub fn fpga_pipelined(
+        n: usize,
+        m: usize,
+        c: usize,
+        db: &SynthesisDb,
+    ) -> Result<Self, mpt_fpga::ConfigError> {
+        match Self::fpga(n, m, c, db)? {
+            Device::Fpga(dev) => Ok(Device::Fpga(dev.pipelined())),
+            Device::Cpu => unreachable!("fpga constructor returns an FPGA device"),
+        }
+    }
+
+    /// Marks a training-step boundary: a pipelined FPGA device drains
+    /// its launch queue here; every other device is a no-op.
+    pub fn step_boundary(&self) {
+        if let Device::Fpga(dev) = self {
+            dev.step_boundary();
+        }
     }
 
     /// [`Device::fpga`] with a fault schedule armed and an explicit
@@ -242,6 +367,79 @@ mod tests {
             unreachable!()
         };
         assert_eq!(fdev.fallback_count(), 1);
+    }
+
+    #[test]
+    fn pipelined_device_is_bit_identical_and_caches_repeats() {
+        let db = SynthesisDb::u55();
+        let dev = Device::fpga_pipelined(4, 4, 2, &db).unwrap();
+        let a = Tensor::from_fn(vec![9, 14], |i| ((i * 31 % 19) as f32 - 9.0) * 0.11);
+        let b = Tensor::from_fn(vec![14, 5], |i| ((i * 17 % 23) as f32 - 11.0) * 0.07);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(42);
+        let (want, _) = Device::Cpu.execute_gemm(&a, &b, &cfg).unwrap();
+        for round in 0..3 {
+            let (got, lat) = dev.execute_gemm(&a, &b, &cfg).unwrap();
+            assert_eq!(got, want, "pipelined path changed the result");
+            let lat = lat.expect("hardware ran");
+            assert!(lat.total_s > 0.0);
+            if round > 0 {
+                // Warm launches moved no operand bytes: data time is
+                // just the result stream-back, strictly below the
+                // cold launch's figure.
+                assert!(lat.data_s > 0.0);
+            }
+        }
+        let Device::Fpga(fdev) = &dev else {
+            unreachable!()
+        };
+        assert!(fdev.is_pipelined());
+        let stats = fdev.cache_stats().unwrap();
+        assert_eq!(stats.misses, 2, "one cold pack per operand");
+        assert_eq!(stats.hits, 4, "two warm rounds hit both operands");
+        dev.step_boundary();
+        assert!(fdev.pipelined_elapsed_s() > 0.0);
+        // The overlap-aware account can never exceed the eager sum.
+        let eager_total: f64 = 3.0
+            * Device::fpga(4, 4, 2, &db)
+                .unwrap()
+                .execute_gemm(&a, &b, &cfg)
+                .unwrap()
+                .1
+                .unwrap()
+                .total_s;
+        assert!(fdev.pipelined_elapsed_s() <= eager_total + 1e-12);
+    }
+
+    #[test]
+    fn pipelined_device_recovers_from_faults_bit_identically() {
+        use mpt_faults::{FaultSite, Trigger};
+        let db = SynthesisDb::u55();
+        let plan = FaultPlan::new(11)
+            .with(FaultSite::LaunchTimeout, Trigger::EveryNth(2))
+            .with(FaultSite::HbmCorruption, Trigger::AtLaunch(3));
+        let dev = match Device::fpga_pipelined(4, 4, 2, &db).unwrap() {
+            Device::Fpga(d) => Device::Fpga(
+                d.with_fault_plan(plan)
+                    .with_retry_policy(RetryPolicy::no_delay(3)),
+            ),
+            Device::Cpu => unreachable!(),
+        };
+        let a = Tensor::from_fn(vec![6, 10], |i| ((i * 13 % 17) as f32 - 8.0) * 0.09);
+        let b = Tensor::from_fn(vec![10, 3], |i| ((i * 11 % 13) as f32 - 6.0) * 0.08);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(9);
+        let (want, _) = Device::Cpu.execute_gemm(&a, &b, &cfg).unwrap();
+        for _ in 0..4 {
+            let (got, lat) = dev.execute_gemm(&a, &b, &cfg).unwrap();
+            assert_eq!(got, want, "stage retry changed the numerical result");
+            assert!(lat.is_some());
+        }
+        let Device::Fpga(fdev) = &dev else {
+            unreachable!()
+        };
+        assert!(fdev.injector().unwrap().injected_count() > 0);
+        assert_eq!(fdev.fallback_count(), 0);
+        // Stage replays never re-pack: the cold packs stand alone.
+        assert_eq!(fdev.cache_stats().unwrap().packs, 2);
     }
 
     #[test]

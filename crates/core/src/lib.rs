@@ -40,7 +40,10 @@ pub mod trainer;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use device::{Device, FpgaDevice};
-pub use matching::{select_accelerator, sweep_core_counts, MatchResult};
+pub use matching::{
+    estimate_iteration_pipelined, measure_iteration_pipelined, select_accelerator,
+    sweep_core_counts, MatchResult,
+};
 pub use trainer::{
     evaluate_cnn, evaluate_cnn_with_backend, train_cnn, train_cnn_resumable,
     train_cnn_with_backend, train_gpt, TrainConfig, TrainOptions, TrainReport,

@@ -232,6 +232,10 @@ pub fn train_cnn_resumable(
             if stepped {
                 optimizer.step(&params);
             }
+            // The optimizer may have just rewritten the weights:
+            // staged backends drain their launch queue here so no
+            // queued latency straddles the update.
+            backend.step_boundary();
             samples += batch_samples;
             batch_in_epoch += 1;
             processed += 1;
@@ -336,6 +340,8 @@ pub fn evaluate_cnn_with_backend(
         let preds = g.value(logits).argmax_rows().expect("logits are a matrix");
         correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
         total += labels.len();
+        // Each evaluation batch is a step for latency accounting too.
+        backend.step_boundary();
     }
     if total == 0 {
         0.0

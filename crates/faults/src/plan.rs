@@ -65,7 +65,8 @@ impl fmt::Display for FaultSite {
 /// attempt of a launch, so a single retry recovers — they model a
 /// transient glitch. [`StickyAtLaunch`](Trigger::StickyAtLaunch)
 /// fires on *every* attempt of its launch, exhausting the retry
-/// budget and forcing the CPU fallback. [`Probability`] draws an
+/// budget and forcing the CPU fallback.
+/// [`Probability`](Trigger::Probability) draws an
 /// independent decision per `(launch, attempt)` from the plan seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Trigger {

@@ -5,7 +5,7 @@
 //! a private `m`-bit signed mantissa. This halves per-element storage
 //! versus floating point at the cost of dynamic range inside the
 //! block. The paper lists blocked FP among MPTorch's supported
-//! families (Section III); frameworks like FAST [9] train with it.
+//! families (Section III); frameworks like FAST \[9\] train with it.
 
 use crate::error::FormatError;
 use crate::float::exponent_of;

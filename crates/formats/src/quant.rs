@@ -111,6 +111,12 @@ impl fmt::Display for NumberFormat {
 ///
 /// let q = Quantizer::float(FloatFormat::e6m5(), Rounding::stochastic());
 /// assert_eq!(q.to_string(), "E6M5-SR");
+///
+/// // Rounding events are indexed by logical position, so a stream
+/// // replays bit-identically wherever it is evaluated.
+/// let y = q.quantize(1.234, 7);
+/// assert_eq!(y, q.quantize(1.234, 7));
+/// assert!((y - 1.234).abs() <= 0.03125, "within one E6M5 ulp");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quantizer {

@@ -29,7 +29,7 @@ pub enum Rounding {
     /// Stochastic rounding (**SR**) comparing the discarded fraction
     /// against `random_bits` pseudo-random bits.
     ///
-    /// The paper evaluates 10 random bits (and cites [10] for the
+    /// The paper evaluates 10 random bits (and cites \[10\] for the
     /// result that 13 bits recover FP16-RN accuracy at FP12-SR).
     Stochastic {
         /// Number of random bits the SR unit consumes per rounding

@@ -14,6 +14,8 @@
 //! a fault-free run. With no plan armed the fault machinery is fully
 //! inert: the hot path pays a single `Option` check per launch.
 
+use crate::cache::{CacheStats, DEFAULT_CACHE_BUDGET};
+use crate::pipeline::PipelinedExecutor;
 use crate::resilient::{emit_fallback_event, resilient_execute};
 use crate::sim::Accelerator;
 use mpt_arith::{default_threads, qgemm_parallel, GemmBackend, QGemmConfig};
@@ -47,6 +49,8 @@ pub struct FpgaBackend {
     injector: Option<Injector>,
     retry: RetryPolicy,
     fallbacks: Cell<u64>,
+    /// Staged execution engine; `None` means eager launches.
+    pipeline: Option<RefCell<PipelinedExecutor>>,
 }
 
 impl FpgaBackend {
@@ -60,7 +64,48 @@ impl FpgaBackend {
             injector: None,
             retry: RetryPolicy::default(),
             fallbacks: Cell::new(0),
+            pipeline: None,
         }
+    }
+
+    /// Switches to staged, double-buffered execution with the default
+    /// operand-cache budget. Functionally bit-identical to the eager
+    /// mode (asserted by the conformance suite); latency is accounted
+    /// by the overlap-aware pipeline clock, and reused operands are
+    /// quantized + packed once.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpt_fpga::{Accelerator, FpgaBackend, SaConfig};
+    /// use mpt_arith::{GemmBackend, QGemmConfig};
+    /// use mpt_tensor::Tensor;
+    ///
+    /// let backend =
+    ///     FpgaBackend::new(Accelerator::new(SaConfig::new(4, 4, 2)?, 328.4)).pipelined();
+    /// let w = Tensor::ones(vec![5, 2]);
+    /// let x = Tensor::ones(vec![3, 5]);
+    /// backend.gemm(&x, &w, &QGemmConfig::fp8_fp12_sr())?;
+    /// backend.gemm(&x, &w, &QGemmConfig::fp8_fp12_sr())?; // weight is resident now
+    /// let stats = backend.cache_stats().unwrap();
+    /// assert_eq!(stats.hits, 2); // second launch packs nothing
+    /// backend.step_boundary(); // drain the queue at the step boundary
+    /// assert!(backend.pipelined_elapsed_s() > 0.0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn pipelined(self) -> Self {
+        self.pipelined_with_budget(DEFAULT_CACHE_BUDGET)
+    }
+
+    /// Staged execution with an explicit operand-cache byte budget
+    /// (`0` disables caching: every launch packs — the eager-
+    /// equivalent baseline the bench harness measures against).
+    pub fn pipelined_with_budget(mut self, budget_bytes: usize) -> Self {
+        self.pipeline = Some(RefCell::new(PipelinedExecutor::new(
+            self.accelerator.clone(),
+            budget_bytes,
+        )));
+        self
     }
 
     /// Arms a deterministic fault schedule: every launch now runs
@@ -87,8 +132,31 @@ impl FpgaBackend {
     }
 
     /// Total measured hardware time accumulated so far, seconds.
+    /// Always the *eager-equivalent* account (Σ per-launch stage
+    /// sums), comparable across execution modes; the overlapped
+    /// figure of the staged mode is
+    /// [`pipelined_elapsed_s`](Self::pipelined_elapsed_s).
     pub fn elapsed_s(&self) -> f64 {
         *self.elapsed_s.borrow()
+    }
+
+    /// `true` when staged (pipelined) execution is enabled.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Operand-cache counters of the staged mode (`None` when eager).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.pipeline.as_ref().map(|p| p.borrow().cache_stats())
+    }
+
+    /// Overlap-aware hardware time of the staged mode: drained queues
+    /// plus the live one. `0.0` in eager mode (nothing overlaps).
+    pub fn pipelined_elapsed_s(&self) -> f64 {
+        self.pipeline
+            .as_ref()
+            .map(|p| p.borrow().pipelined_elapsed_s())
+            .unwrap_or(0.0)
     }
 
     /// Number of GEMM launches so far.
@@ -102,11 +170,15 @@ impl FpgaBackend {
         self.fallbacks.get()
     }
 
-    /// Resets the accumulated counters (not the injector's schedule).
+    /// Resets the accumulated counters (not the injector's schedule;
+    /// cached operands stay resident).
     pub fn reset(&self) {
         *self.elapsed_s.borrow_mut() = 0.0;
         self.gemms.set(0);
         self.fallbacks.set(0);
+        if let Some(p) = &self.pipeline {
+            p.borrow_mut().reset_accounting();
+        }
     }
 
     /// One hardware launch with latency accounting and telemetry —
@@ -145,10 +217,89 @@ impl FpgaBackend {
         }
         Ok(out)
     }
+
+    /// One staged launch through the pipelined executor, with the
+    /// same telemetry and fallback contract as the eager path.
+    fn launch_pipelined(
+        &self,
+        px: &RefCell<PipelinedExecutor>,
+        a: &Tensor,
+        b: &Tensor,
+        cfg: &QGemmConfig,
+    ) -> Result<Tensor, ShapeError> {
+        let mut span = mpt_arith::gemm_span(
+            "gemm:fpga-pipelined",
+            a,
+            b,
+            cfg,
+            self.accelerator.config().c() as u64,
+        );
+        let outcome = match &self.injector {
+            None => px.borrow_mut().launch(a, b, cfg).map(Some)?,
+            Some(inj) => px
+                .borrow_mut()
+                .launch_resilient(inj, &self.retry, a, b, cfg)?,
+        };
+        match outcome {
+            Some((out, times)) => {
+                *self.elapsed_s.borrow_mut() += times.eager_s();
+                self.gemms.set(self.gemms.get() + 1);
+                if span.is_active() {
+                    span.field(mpt_telemetry::SpanField::F64("hw_eager_s", times.eager_s()))
+                        .field(mpt_telemetry::SpanField::F64(
+                            "hw_bottleneck_s",
+                            times.bottleneck_s(),
+                        ));
+                    // Eager-vs-pipelined calibration: the analytic
+                    // stage model against the simulator's staged
+                    // accounting (cache effects and the PCIe
+                    // efficiency gap included in "measured").
+                    if let (&[n, k], &[_, m]) = (a.shape(), b.shape()) {
+                        let bits = cfg.quant_a.format().bit_width();
+                        let shape = mpt_arith::GemmShape::new(n, k, m);
+                        let sa = self.accelerator.config();
+                        let freq = self.accelerator.freq_mhz();
+                        let label = format!("{n}x{k}x{m}@{sa}");
+                        let stages = crate::perf::estimate_gemm_stages(shape, sa, freq, bits, bits);
+                        mpt_telemetry::record_calibration(mpt_telemetry::CalibrationRecord {
+                            context: "fpga_gemm".into(),
+                            label: label.clone(),
+                            predicted_s: stages.eager_s(),
+                            measured_s: times.eager_s(),
+                        });
+                        mpt_telemetry::record_calibration(mpt_telemetry::CalibrationRecord {
+                            context: "fpga_gemm_pipelined".into(),
+                            label,
+                            predicted_s: stages.bottleneck_s(),
+                            measured_s: times.bottleneck_s(),
+                        });
+                    }
+                }
+                Ok(out)
+            }
+            None => {
+                let inj = self.injector.as_ref().expect("fallback requires injector");
+                self.fallbacks.set(self.fallbacks.get() + 1);
+                emit_fallback_event(
+                    "fpga-pipelined",
+                    inj.launch_count(),
+                    self.retry.max_attempts,
+                );
+                let threads = default_threads();
+                let _span = mpt_arith::gemm_span("gemm:fallback", a, b, cfg, threads as u64);
+                qgemm_parallel(a, b, cfg, threads)
+            }
+        }
+    }
 }
 
 impl GemmBackend for FpgaBackend {
     fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
+        // Staged mode: cache-aware pack + overlap-aware accounting,
+        // with its own per-stage fault retry.
+        if let Some(px) = &self.pipeline {
+            return self.launch_pipelined(px, a, b, cfg);
+        }
         // Fault-free configuration: the direct hardware launch. This
         // branch is the whole cost of the inert fault layer.
         let Some(inj) = &self.injector else {
@@ -171,10 +322,26 @@ impl GemmBackend for FpgaBackend {
 
     fn label(&self) -> String {
         format!(
-            "fpga{}@{:.1}MHz",
+            "fpga{}{}@{:.1}MHz",
+            if self.is_pipelined() {
+                "-pipelined"
+            } else {
+                ""
+            },
             self.accelerator.config(),
             self.accelerator.freq_mhz()
         )
+    }
+
+    /// A training-step boundary drains the staged launch queue: the
+    /// overlapped makespan moves into the accumulated total and the
+    /// clock returns to idle. The operand cache keeps its residents —
+    /// updated weights re-key themselves by content. No-op in eager
+    /// mode.
+    fn step_boundary(&self) {
+        if let Some(px) = &self.pipeline {
+            px.borrow_mut().flush();
+        }
     }
 }
 
@@ -221,6 +388,74 @@ mod tests {
     fn label_names_configuration() {
         let backend = FpgaBackend::new(Accelerator::new(SaConfig::new(8, 8, 4).unwrap(), 298.0));
         assert_eq!(backend.label(), "fpga<8,8,4>@298.0MHz");
+    }
+
+    #[test]
+    fn pipelined_mode_matches_eager_bitwise() {
+        let a = Tensor::from_fn(vec![9, 13], |i| ((i * 29 % 31) as f32 - 15.0) * 0.04);
+        let b = Tensor::from_fn(vec![13, 6], |i| ((i * 23 % 29) as f32 - 14.0) * 0.05);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(8);
+        let eager = FpgaBackend::new(Accelerator::new(SaConfig::new(8, 4, 3).unwrap(), 197.7));
+        let staged =
+            FpgaBackend::new(Accelerator::new(SaConfig::new(8, 4, 3).unwrap(), 197.7)).pipelined();
+        for _ in 0..3 {
+            assert_eq!(
+                staged.gemm(&a, &b, &cfg).unwrap(),
+                eager.gemm(&a, &b, &cfg).unwrap()
+            );
+        }
+        let stats = staged.cache_stats().unwrap();
+        assert_eq!(stats.misses, 2, "one pack per distinct operand");
+        assert_eq!(stats.hits, 4, "launches 2..3 are fully resident");
+        assert_eq!(staged.label(), "fpga-pipelined<8,4,3>@197.7MHz");
+    }
+
+    #[test]
+    fn pipelined_step_boundary_drains_queue() {
+        let a = Tensor::ones(vec![16, 16]);
+        let b = Tensor::ones(vec![16, 16]);
+        // with_seed gives A and B distinct SR streams, so the equal
+        // carrier bits still occupy two cache entries.
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(1);
+        let backend =
+            FpgaBackend::new(Accelerator::new(SaConfig::new(4, 4, 2).unwrap(), 300.0)).pipelined();
+        for _ in 0..4 {
+            backend.gemm(&a, &b, &cfg).unwrap();
+        }
+        let overlapped = backend.pipelined_elapsed_s();
+        let eager = backend.elapsed_s();
+        assert!(overlapped > 0.0 && overlapped < eager);
+        backend.step_boundary();
+        assert!((backend.pipelined_elapsed_s() - overlapped).abs() < 1e-15);
+        // New step: the queue restarts from idle, cache stays warm.
+        backend.gemm(&a, &b, &cfg).unwrap();
+        assert_eq!(backend.cache_stats().unwrap().misses, 2);
+    }
+
+    #[test]
+    fn pipelined_faults_recover_bit_identically() {
+        use mpt_faults::{FaultPlan, FaultSite, RetryPolicy, Trigger};
+        let a = Tensor::from_fn(vec![7, 11], |i| ((i * 17 % 23) as f32 - 11.0) * 0.06);
+        let b = Tensor::from_fn(vec![11, 4], |i| ((i * 19 % 29) as f32 - 14.0) * 0.03);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(3);
+        let plan = FaultPlan::new(42)
+            .with(FaultSite::LaunchTimeout, Trigger::EveryNth(2))
+            .with(FaultSite::HbmCorruption, Trigger::EveryNth(3))
+            .with(FaultSite::LaunchTransient, Trigger::StickyAtLaunch(5));
+        let backend = FpgaBackend::new(Accelerator::new(SaConfig::new(4, 4, 2).unwrap(), 328.4))
+            .pipelined()
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::no_delay(3));
+        let want = qgemm(&a, &b, &cfg).unwrap();
+        for _ in 0..6 {
+            assert_eq!(backend.gemm(&a, &b, &cfg).unwrap(), want);
+        }
+        assert_eq!(backend.fallback_count(), 1, "sticky launch 5 degrades");
+        let stats = backend.cache_stats().unwrap();
+        assert_eq!(
+            stats.packs, 2,
+            "stage retries must never replay the pack stage"
+        );
     }
 
     #[test]

@@ -40,21 +40,28 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod config;
 pub mod hbm;
 pub mod mapping;
 pub mod padding;
 pub mod perf;
+pub mod pipeline;
 pub mod resilient;
 pub mod sim;
 pub mod synthesis;
 
 pub use backend::FpgaBackend;
+pub use cache::{CacheStats, OperandCache, DEFAULT_CACHE_BUDGET};
 pub use config::{ConfigError, SaConfig, HBM_PORT_BITS, MAX_CORES, PCIE_GBPS};
 pub use hbm::{HbmError, HbmImage};
 pub use mapping::{best_mapping, GemmMapping, Partition};
 pub use padding::PaddedGemm;
-pub use perf::{estimate_gemm, estimate_workload, Latency};
+pub use perf::{
+    estimate_gemm, estimate_gemm_stages, estimate_workload, estimate_workload_pipelined, Latency,
+    StageLatency,
+};
+pub use pipeline::{PipelineClock, PipelinedExecutor, StageTimes};
 pub use resilient::{emit_fallback_event, emit_fault_event, resilient_execute};
 pub use sim::{Accelerator, MeasuredLatency};
 pub use synthesis::{SynthPoint, SynthesisDb};

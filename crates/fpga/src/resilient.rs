@@ -12,7 +12,7 @@
 //! golden weight digest (enforced by the conformance chaos suite).
 //!
 //! The HBM site is modeled concretely: the quantized `A` operand is
-//! packed into a CRC-checked [`HbmImage`](crate::hbm::HbmImage), the
+//! packed into a CRC-checked [`HbmImage`], the
 //! injector corrupts one byte "in flight", and the CRC verification
 //! on arrival must catch it — re-sending on the next attempt.
 

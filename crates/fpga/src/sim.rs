@@ -6,7 +6,7 @@
 //! systolic schedule per core in which every reduction step goes
 //! through the same [`mpt_arith::mac_step`] as CPU emulation —
 //! making the functional result **bitwise identical** to
-//! [`mpt_arith::qgemm`] (the paper's bit-level accuracy claim).
+//! [`mpt_arith::qgemm()`] (the paper's bit-level accuracy claim).
 //! Fully-identity pipelines are the one exception: CPU paths dispatch
 //! them to the plain FP32 GEMM, so the PEs step with the same
 //! separate product/sum roundings instead of the fused MAC.
@@ -23,7 +23,7 @@ use mpt_arith::{mac_step, quantize_matrix, GemmShape, QGemmConfig};
 use mpt_tensor::{ShapeError, Tensor};
 
 /// Per-GEMM kernel launch overhead (OpenCL enqueue + sync), seconds.
-const LAUNCH_OVERHEAD_S: f64 = 30.0e-6;
+pub const LAUNCH_OVERHEAD_S: f64 = 30.0e-6;
 
 /// Latency observed by the cycle-level simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,8 +95,8 @@ impl Accelerator {
         b: &Tensor,
         cfg: &QGemmConfig,
     ) -> Result<(Tensor, MeasuredLatency), ShapeError> {
-        let (n, k) = a.as_matrix()?;
-        let (k2, m) = b.as_matrix()?;
+        let (_, k) = a.as_matrix()?;
+        let (k2, _) = b.as_matrix()?;
         if k != k2 {
             return Err(ShapeError::Mismatch {
                 left: a.shape().to_vec(),
@@ -104,14 +104,47 @@ impl Accelerator {
                 op: "Accelerator::execute",
             });
         }
+        // Host: quantize (as the host does before packing HBM words),
+        // then run the quantized operands through the fabric schedule.
+        let aq = quantize_matrix(a, &cfg.quant_a, 0, 0);
+        let bq = quantize_matrix(b, &cfg.quant_b, 0, 0);
+        self.execute_quantized(&aq, &bq, cfg)
+    }
+
+    /// Executes `A · B` where both operands have **already** been
+    /// quantized with `cfg`'s quantizers at global coordinates
+    /// (offsets `(0, 0)`), skipping the host-side quantization stage.
+    ///
+    /// This is the compute stage of the pipelined executor
+    /// ([`crate::pipeline::PipelinedExecutor`]): the operand cache
+    /// holds quantized carriers, so a cache hit must not re-quantize.
+    /// `execute(a, b, cfg)` is exactly
+    /// `execute_quantized(quantize(a), quantize(b), cfg)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the operands are not conforming
+    /// matrices.
+    pub fn execute_quantized(
+        &self,
+        aq: &Tensor,
+        bq: &Tensor,
+        cfg: &QGemmConfig,
+    ) -> Result<(Tensor, MeasuredLatency), ShapeError> {
+        let (n, k) = aq.as_matrix()?;
+        let (k2, m) = bq.as_matrix()?;
+        if k != k2 {
+            return Err(ShapeError::Mismatch {
+                left: aq.shape().to_vec(),
+                right: bq.shape().to_vec(),
+                op: "Accelerator::execute_quantized",
+            });
+        }
         let shape = GemmShape::new(n, k, m);
         let bits = cfg.quant_a.format().bit_width();
         let padded = PaddedGemm::new(shape, self.config, bits);
 
-        // Host: quantize (as the host does before packing HBM words)
-        // then stage-1/2 padding.
-        let aq = quantize_matrix(a, &cfg.quant_a, 0, 0);
-        let bq = quantize_matrix(b, &cfg.quant_b, 0, 0);
+        // Stage-1/2 padding of the quantized operands.
         let a_host = aq.pad_to(padded.n_core * self.config.c(), padded.k_mem)?;
         let b_host = bq.pad_to(padded.k_mem, padded.m_mem)?;
 
@@ -197,6 +230,30 @@ impl Accelerator {
             data_s,
             total_s: core_s + data_s + LAUNCH_OVERHEAD_S,
         }
+    }
+
+    /// Measured-world stage decomposition of one launch:
+    /// `(transfer-in, compute, transfer-out)` seconds, where compute
+    /// includes the per-launch overhead and the transfers run at the
+    /// achieved (80%) PCIe bandwidth. The three components sum to
+    /// [`timing_only`](Accelerator::timing_only)'s `total_s`; the
+    /// pipelined executor overlaps them across consecutive launches
+    /// (stage *s* of launch *i+1* behind stage *s+1* of launch *i*).
+    pub fn stage_timing(&self, shape: GemmShape, in_bits: u32) -> (f64, f64, f64) {
+        let padded = PaddedGemm::new(shape, self.config, in_bits);
+        let lat = self.timing_only(shape, in_bits);
+        let in_bytes = (self.config.c() * padded.n_core * padded.k_mem
+            + padded.k_mem * padded.m_mem) as f64
+            * in_bits as f64
+            / 8.0;
+        let out_bytes =
+            (self.config.c() * padded.n_core * padded.m_mem) as f64 * in_bits as f64 / 8.0;
+        let bw = PCIE_GBPS * 1.0e9 * PCIE_EFFICIENCY;
+        (
+            in_bytes / bw,
+            lat.core_s + LAUNCH_OVERHEAD_S,
+            out_bytes / bw,
+        )
     }
 
     /// Runs one core's tiled systolic schedule over its padded

@@ -1,6 +1,6 @@
 //! Adaptive (dynamic) loss scaling.
 //!
-//! All of the paper's experiments "employed adaptive loss scaling [7]
+//! All of the paper's experiments "employed adaptive loss scaling \[7\]
 //! with an initial scaling factor of 256" (Section V-A). The scaler
 //! multiplies the loss gradient by the current scale, watches the
 //! resulting parameter gradients for overflow/NaN, and adapts: any

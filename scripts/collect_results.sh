@@ -10,7 +10,7 @@ out=$(mktemp)
 {
   for bin in table1_features table3_configs table4_latency \
              fig7_est_vs_measured sr_random_bits ablation_multisa \
-             ablation_mapping ablation_fma; do
+             ablation_mapping ablation_fma pipeline_throughput; do
     echo "### \`$bin\`"
     echo '```text'
     ./target/release/$bin

@@ -611,7 +611,7 @@ pub mod collection {
     use crate::strategy::{Strategy, ValueTree};
     use crate::test_runner::TestRng;
 
-    /// Element-count specification for [`vec`]: a fixed size or a
+    /// Element-count specification for [`vec()`]: a fixed size or a
     /// half-open/inclusive range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {

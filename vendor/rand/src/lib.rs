@@ -170,7 +170,8 @@ pub mod rngs {
     }
 }
 
-/// Distributions sampled through [`Distribution::sample`].
+/// Distributions sampled through
+/// [`Distribution::sample`](distributions::Distribution::sample).
 pub mod distributions {
     use super::{unit_f32, unit_f64, RngCore};
 
