@@ -31,13 +31,14 @@
 //! costs one relaxed atomic load.
 
 use crate::mac::{mac_step, mac_step_tallied, sr_event_index, MacConfig, MacStage};
+use crate::simd_fused::gemm_fused_portable;
 use mpt_formats::fast::mode;
-use mpt_formats::FloatFastF64;
+use mpt_formats::{FloatFastF64, SimdTier};
 use mpt_telemetry::QuantTally;
 
 /// Output/B-row chunk width: 256 f32 = 1 KiB per row chunk, so the
 /// output chunk plus the streaming B chunk sit comfortably in L1.
-const J_TILE: usize = 256;
+pub(crate) const J_TILE: usize = 256;
 
 /// One kernel choice, resolved once per GEMM from
 /// `(NumberFormat family, Rounding)` of the MAC stages.
@@ -62,7 +63,8 @@ fn plan(mac: &MacConfig) -> Plan {
 
 /// Computes `out += A · B` under `mac` (with `out` starting at zero),
 /// quantized operands already in `ad`/`bd`, indexing rounding events
-/// by global coordinates `(i + row_offset, j + col_offset, k)`.
+/// by global coordinates `(i + row_offset, j + col_offset, k)`, under
+/// the ambient `MPT_SIMD` kernel tier.
 ///
 /// Bit-identical to the scalar reference loop for all configurations,
 /// with telemetry enabled or not.
@@ -78,6 +80,36 @@ pub(crate) fn gemm_into(
     row_offset: usize,
     col_offset: usize,
 ) {
+    gemm_into_tier(
+        out,
+        ad,
+        bd,
+        n,
+        k,
+        m,
+        mac,
+        row_offset,
+        col_offset,
+        mpt_formats::simd::active_tier(),
+    )
+}
+
+/// [`gemm_into`] with an explicit kernel tier (every tier is
+/// bit-identical; benches and differential tests compare tiers within
+/// one process through [`crate::qgemm::qgemm_with_tier`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_into_tier(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    mac: &MacConfig,
+    row_offset: usize,
+    col_offset: usize,
+    tier: SimdTier,
+) {
     debug_assert_eq!(out.len(), n * m);
     debug_assert_eq!(ad.len(), n * k);
     debug_assert_eq!(bd.len(), k * m);
@@ -86,6 +118,14 @@ pub(crate) fn gemm_into(
     // skipped). One O(km) scan amortized over O(nkm) work.
     let b_all_finite = bd.iter().all(|v| v.is_finite());
     if mpt_telemetry::enabled() {
+        // Dispatch counter: which kernel family/tier ran this GEMM
+        // (`kernel.tier.off|portable|avx2` for the fused path,
+        // `kernel.tier.generic` for the scalar oracle loop).
+        let tier_label = match plan(mac) {
+            Plan::Fused(_) => tier.name(),
+            Plan::Generic => "generic",
+        };
+        mpt_telemetry::counter(&format!("kernel.tier.{tier_label}")).incr();
         let mut mul_tally = mac.mul.telemetry_tally();
         let mut acc_tally = mac.acc.telemetry_tally();
         match plan(mac) {
@@ -101,6 +141,7 @@ pub(crate) fn gemm_into(
                 col_offset,
                 b_all_finite,
                 &mut acc_tally,
+                tier,
             ),
             Plan::Generic => gemm_generic::<true>(
                 out,
@@ -140,6 +181,7 @@ pub(crate) fn gemm_into(
             col_offset,
             b_all_finite,
             &mut dummy,
+            tier,
         ),
         Plan::Generic => gemm_generic::<false>(
             out,
@@ -158,7 +200,8 @@ pub(crate) fn gemm_into(
     }
 }
 
-/// Monomorphizes [`gemm_fused`] over the accumulator's rounding mode.
+/// Monomorphizes the fused kernel over the accumulator's rounding
+/// mode, then routes to the tier implementation.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_fused<const TALLY: bool>(
     out: &mut [f32],
@@ -172,9 +215,10 @@ fn dispatch_fused<const TALLY: bool>(
     col_offset: usize,
     b_all_finite: bool,
     tally: &mut QuantTally,
+    tier: SimdTier,
 ) {
     match acc.rounding() {
-        mpt_formats::Rounding::Nearest => gemm_fused::<{ mode::RN }, TALLY>(
+        mpt_formats::Rounding::Nearest => gemm_fused_tier::<{ mode::RN }, TALLY>(
             out,
             ad,
             bd,
@@ -186,8 +230,9 @@ fn dispatch_fused<const TALLY: bool>(
             col_offset,
             b_all_finite,
             tally,
+            tier,
         ),
-        mpt_formats::Rounding::TowardZero => gemm_fused::<{ mode::RZ }, TALLY>(
+        mpt_formats::Rounding::TowardZero => gemm_fused_tier::<{ mode::RZ }, TALLY>(
             out,
             ad,
             bd,
@@ -199,8 +244,9 @@ fn dispatch_fused<const TALLY: bool>(
             col_offset,
             b_all_finite,
             tally,
+            tier,
         ),
-        mpt_formats::Rounding::Stochastic { .. } => gemm_fused::<{ mode::SR }, TALLY>(
+        mpt_formats::Rounding::Stochastic { .. } => gemm_fused_tier::<{ mode::SR }, TALLY>(
             out,
             ad,
             bd,
@@ -212,8 +258,9 @@ fn dispatch_fused<const TALLY: bool>(
             col_offset,
             b_all_finite,
             tally,
+            tier,
         ),
-        mpt_formats::Rounding::ToOdd => gemm_fused::<{ mode::RO }, TALLY>(
+        mpt_formats::Rounding::ToOdd => gemm_fused_tier::<{ mode::RO }, TALLY>(
             out,
             ad,
             bd,
@@ -225,9 +272,92 @@ fn dispatch_fused<const TALLY: bool>(
             col_offset,
             b_all_finite,
             tally,
+            tier,
         ),
         // `fast_f64` never yields a kernel for NR.
         mpt_formats::Rounding::NoRound => unreachable!("NR has no fast kernel"),
+    }
+}
+
+/// Tier selection for one monomorphized fused kernel. On non-x86_64
+/// hosts the `Avx2` tier (unreachable through `active_tier`, but
+/// expressible through the explicit-tier API) degrades to portable.
+#[allow(clippy::too_many_arguments)]
+fn gemm_fused_tier<const MODE: u8, const TALLY: bool>(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    acc: &FloatFastF64,
+    row_offset: usize,
+    col_offset: usize,
+    b_all_finite: bool,
+    tally: &mut QuantTally,
+    tier: SimdTier,
+) {
+    match tier {
+        SimdTier::Off => gemm_fused::<MODE, TALLY>(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            acc,
+            row_offset,
+            col_offset,
+            b_all_finite,
+            tally,
+        ),
+        SimdTier::Portable => gemm_fused_portable::<MODE, TALLY>(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            acc,
+            row_offset,
+            col_offset,
+            b_all_finite,
+            tally,
+        ),
+        SimdTier::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                crate::simd_fused::avx2::gemm_fused_avx2::<MODE, TALLY>(
+                    out,
+                    ad,
+                    bd,
+                    n,
+                    k,
+                    m,
+                    acc,
+                    row_offset,
+                    col_offset,
+                    b_all_finite,
+                    tally,
+                )
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                gemm_fused_portable::<MODE, TALLY>(
+                    out,
+                    ad,
+                    bd,
+                    n,
+                    k,
+                    m,
+                    acc,
+                    row_offset,
+                    col_offset,
+                    b_all_finite,
+                    tally,
+                )
+            }
+        }
     }
 }
 
@@ -235,7 +365,7 @@ fn dispatch_fused<const TALLY: bool>(
 /// rounded by the monomorphized [`FloatFastF64`] (event-index hashing
 /// fused into the mantissa rounding).
 #[allow(clippy::too_many_arguments)]
-fn gemm_fused<const MODE: u8, const TALLY: bool>(
+pub(crate) fn gemm_fused<const MODE: u8, const TALLY: bool>(
     out: &mut [f32],
     ad: &[f32],
     bd: &[f32],

@@ -161,7 +161,20 @@ pub fn qgemm_parallel(
         });
     }
     let threads = threads.max(1).min(n.max(1));
+    // Fast exit: anything that degenerates to sequential execution
+    // (one thread, empty output, identity config) runs on the caller
+    // thread through the direct kernel — zero pool submissions, zero
+    // channel hops, no operand re-packing. The bench suite pins this
+    // path to within 1% of calling `qgemm` directly.
     if threads == 1 || n == 0 || m == 0 || cfg.is_identity() {
+        return qgemm_with_offsets(a, b, cfg, 0, 0);
+    }
+
+    let (tr, tc) = tile_grid(threads, n, m);
+    if tr * tc <= 1 {
+        // Degenerate one-tile grid (defensive: today `threads` is
+        // clamped so this implies `threads == 1`, but the grid policy
+        // may evolve) — same caller-thread fast exit.
         return qgemm_with_offsets(a, b, cfg, 0, 0);
     }
 
@@ -170,7 +183,6 @@ pub fn qgemm_parallel(
     let aq = Arc::new(quantize_matrix(a, &cfg.quant_a, 0, 0));
     let bq = Arc::new(quantize_matrix(b, &cfg.quant_b, 0, 0));
 
-    let (tr, tc) = tile_grid(threads, n, m);
     let row_ranges = split_ranges(n, tr);
     let col_ranges = split_ranges(m, tc);
 
@@ -191,43 +203,74 @@ pub fn qgemm_parallel(
 
     let (sender, receiver) = mpsc::channel::<(usize, usize, Vec<f32>)>();
     let mac = cfg.mac;
-    let mut tiles = 0usize;
-    for (ri, &(r0, r1)) in row_ranges.iter().enumerate() {
-        for (ci, &(c0, c1)) in col_ranges.iter().enumerate() {
-            let aq = Arc::clone(&aq);
-            let bcol = Arc::clone(&col_blocks[ci]);
-            let sender = sender.clone();
-            tiles += 1;
-            pool().submit(Box::new(move || {
-                let rh = r1 - r0;
-                let cw = c1 - c0;
-                let mut tile = vec![0.0f32; rh * cw];
-                gemm_into(
-                    &mut tile,
-                    &aq.data()[r0 * k..r1 * k],
-                    &bcol,
-                    rh,
-                    k,
-                    cw,
-                    &mac,
-                    r0,
-                    c0,
-                );
-                let _ = sender.send((ri, ci, tile));
-            }));
-        }
+    let tile_ids: Vec<(usize, usize)> = (0..row_ranges.len())
+        .flat_map(|ri| (0..col_ranges.len()).map(move |ci| (ri, ci)))
+        .collect();
+    let run_tile = |ri: usize, ci: usize, aq: &Tensor, bcol: &[f32]| {
+        let (r0, r1) = row_ranges[ri];
+        let (c0, c1) = col_ranges[ci];
+        let rh = r1 - r0;
+        let cw = c1 - c0;
+        let mut tile = vec![0.0f32; rh * cw];
+        gemm_into(
+            &mut tile,
+            &aq.data()[r0 * k..r1 * k],
+            bcol,
+            rh,
+            k,
+            cw,
+            &mac,
+            r0,
+            c0,
+        );
+        tile
+    };
+    // All tiles but the last go to the pool; the caller thread
+    // computes the last one itself instead of idling on the channel
+    // (tiles are independent, so execution placement cannot change
+    // bits).
+    let (last, pooled) = tile_ids.split_last().expect("grid has >= 2 tiles");
+    for &(ri, ci) in pooled {
+        let aq = Arc::clone(&aq);
+        let bcol = Arc::clone(&col_blocks[ci]);
+        let sender = sender.clone();
+        let (r0, r1) = row_ranges[ri];
+        let (c0, c1) = col_ranges[ci];
+        pool().submit(Box::new(move || {
+            let rh = r1 - r0;
+            let cw = c1 - c0;
+            let mut tile = vec![0.0f32; rh * cw];
+            gemm_into(
+                &mut tile,
+                &aq.data()[r0 * k..r1 * k],
+                &bcol,
+                rh,
+                k,
+                cw,
+                &mac,
+                r0,
+                c0,
+            );
+            let _ = sender.send((ri, ci, tile));
+        }));
     }
     drop(sender);
 
     let mut out = vec![0.0f32; n * m];
-    for _ in 0..tiles {
-        let (ri, ci, tile) = receiver.recv().expect("GEMM tile worker panicked");
+    let place = |ri: usize, ci: usize, tile: Vec<f32>, out: &mut Vec<f32>| {
         let (r0, r1) = row_ranges[ri];
         let (c0, c1) = col_ranges[ci];
         let cw = c1 - c0;
         for (local_i, gi) in (r0..r1).enumerate() {
             out[gi * m + c0..gi * m + c1].copy_from_slice(&tile[local_i * cw..(local_i + 1) * cw]);
         }
+    };
+    let (lri, lci) = *last;
+    let local = run_tile(lri, lci, &aq, &col_blocks[lci]);
+    place(lri, lci, local, &mut out);
+    for _ in 0..pooled.len() {
+        let (ri, ci, tile) = receiver.recv().expect("GEMM tile worker panicked");
+        place(ri, ci, tile, &mut out);
     }
     Tensor::from_vec(vec![n, m], out)
 }

@@ -4,9 +4,9 @@
 //! quantize the inputs, run every MAC in the configured formats, and
 //! cast the result back to FP32.
 
-use crate::kernels::gemm_into;
+use crate::kernels::gemm_into_tier;
 use crate::mac::{input_event_index, mac_step, MacConfig};
-use mpt_formats::Quantizer;
+use mpt_formats::{Quantizer, SimdTier};
 use mpt_tensor::{ShapeError, Tensor};
 use std::fmt;
 
@@ -134,6 +134,37 @@ pub fn qgemm_with_offsets(
     row_offset: usize,
     col_offset: usize,
 ) -> Result<Tensor, ShapeError> {
+    qgemm_with_tier(
+        a,
+        b,
+        cfg,
+        row_offset,
+        col_offset,
+        mpt_formats::simd::active_tier(),
+    )
+}
+
+/// [`qgemm_with_offsets`] with an explicit SIMD tier instead of the
+/// ambient `MPT_SIMD` selection.
+///
+/// Every tier is bit-identical (the lane kernels replay the scalar
+/// operation and SR event sequence exactly), so this exists purely for
+/// in-process tier comparison: differential tests pin
+/// `off == portable == avx2` and benches assert bit-equality alongside
+/// their throughput measurements without re-spawning the process per
+/// `MPT_SIMD` value.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`qgemm`].
+pub fn qgemm_with_tier(
+    a: &Tensor,
+    b: &Tensor,
+    cfg: &QGemmConfig,
+    row_offset: usize,
+    col_offset: usize,
+    tier: SimdTier,
+) -> Result<Tensor, ShapeError> {
     let (n, k) = a.as_matrix()?;
     let (k2, m) = b.as_matrix()?;
     if k != k2 {
@@ -148,11 +179,11 @@ pub fn qgemm_with_offsets(
         return a.matmul(b);
     }
 
-    let aq = quantize_matrix(a, &cfg.quant_a, row_offset, 0);
-    let bq = quantize_matrix(b, &cfg.quant_b, 0, col_offset);
+    let aq = quantize_matrix_tier(a, &cfg.quant_a, row_offset, 0, tier);
+    let bq = quantize_matrix_tier(b, &cfg.quant_b, 0, col_offset, tier);
 
     let mut out = vec![0.0f32; n * m];
-    gemm_into(
+    gemm_into_tier(
         &mut out,
         aq.data(),
         bq.data(),
@@ -162,6 +193,7 @@ pub fn qgemm_with_offsets(
         &cfg.mac,
         row_offset,
         col_offset,
+        tier,
     );
     Tensor::from_vec(vec![n, m], out)
 }
@@ -253,6 +285,24 @@ pub fn qgemm_reference(
 ///
 /// Panics if `t` is not a matrix.
 pub fn quantize_matrix(t: &Tensor, q: &Quantizer, row_offset: usize, col_offset: usize) -> Tensor {
+    quantize_matrix_tier(
+        t,
+        q,
+        row_offset,
+        col_offset,
+        mpt_formats::simd::active_tier(),
+    )
+}
+
+/// [`quantize_matrix`] with an explicit SIMD tier (bit-identical to
+/// every other tier; see [`qgemm_with_tier`]).
+pub fn quantize_matrix_tier(
+    t: &Tensor,
+    q: &Quantizer,
+    row_offset: usize,
+    col_offset: usize,
+    tier: SimdTier,
+) -> Tensor {
     if q.is_identity() {
         return t.clone();
     }
@@ -265,7 +315,7 @@ pub fn quantize_matrix(t: &Tensor, q: &Quantizer, row_offset: usize, col_offset:
     let data = out.data_mut();
     for i in 0..r {
         let base = input_event_index(i + row_offset, col_offset);
-        q.quantize_slice_f32(&mut data[i * c..(i + 1) * c], base);
+        q.quantize_slice_f32_tier(&mut data[i * c..(i + 1) * c], base, tier);
     }
     out
 }
@@ -376,6 +426,27 @@ mod tests {
         let bp = b.pad_to(7, 6).unwrap();
         let padded = qgemm(&ap, &bp, &cfg).unwrap().crop_to(5, 4).unwrap();
         assert_eq!(plain, padded, "n/m-padding changed bits");
+    }
+
+    #[test]
+    fn dispatch_counter_records_tier() {
+        // The `kernel.tier.*` dispatch counter ticks once per GEMM
+        // when telemetry is on. Pin it through the Off tier, which
+        // ambient-tier GEMMs from concurrently running tests never
+        // touch (`MPT_SIMD` is unset here, so ambient != off only on
+        // hosts with a vector tier; the >= guard keeps this sound
+        // either way).
+        let was_enabled = mpt_telemetry::enabled();
+        mpt_telemetry::enable();
+        let before = mpt_telemetry::counter("kernel.tier.off").get();
+        let a = Tensor::from_fn(vec![3, 4], |i| i as f32 * 0.5 - 2.0);
+        let b = Tensor::from_fn(vec![4, 3], |i| 1.0 - i as f32 * 0.25);
+        qgemm_with_tier(&a, &b, &QGemmConfig::fp8_fp12_sr(), 0, 0, SimdTier::Off).unwrap();
+        let after = mpt_telemetry::counter("kernel.tier.off").get();
+        if !was_enabled {
+            mpt_telemetry::disable();
+        }
+        assert!(after > before, "dispatch counter did not tick");
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Lane-parallel fused-MAC GEMM kernels (the `MPT_SIMD` tiers).
+//!
+//! These are drop-in replacements for the scalar `gemm_fused` inner
+//! loop in [`crate::kernels`]: same `i / j-tile / k / j` traversal,
+//! same ascending-`k` reduction per output element, same
+//! [`sr_event_index`] event stream — only the innermost `j` loop is
+//! restructured into 4-wide `f64` lane blocks. Because IEEE-754
+//! multiplies/adds are fully specified and the lane quantizers in
+//! `mpt-formats` replay the scalar kernel's exact operation sequence
+//! per lane, results are **bit-identical** to the scalar kernel (and
+//! therefore to `qgemm_reference`) for every input, including NaN/inf
+//! payloads, zero products, and saturating sums:
+//!
+//! * products and running sums are computed per lane with no
+//!   reassociation — lane `j` sees exactly the scalar sequence
+//!   `out[j] + a[kk]·b[kk][j]` at each step;
+//! * zero products (`product == 0.0`) leave the output lane untouched,
+//!   exactly like the scalar `continue`;
+//! * lanes whose sum leaves the provable fast regime (non-finite,
+//!   target-subnormal, carrier-subnormal) are recomputed through the
+//!   scalar quantizer from the same `f64` sum;
+//! * SR event indices are computed per lane with the *same*
+//!   [`sr_event_index`] packing (no incremental shortcuts that could
+//!   diverge on field overflow).
+//!
+//! The telemetry tallies (`TALLY = true`) record the identical
+//! `(sum, quantized)` pairs the scalar kernel records, skipping zero
+//! products, so instrumented runs stay tier-independent too.
+
+use crate::mac::{sr_event_index, MacStage};
+use mpt_formats::fast::mode;
+use mpt_formats::{FloatFastF64, LanePlanF64};
+use mpt_telemetry::QuantTally;
+
+use crate::kernels::{gemm_fused, J_TILE};
+
+/// Lane width of the portable blocks (matches the AVX2 register
+/// width: 4 × `f64`).
+const L: usize = 4;
+
+/// Portable lane-block fused kernel: fixed-width arrays in safe Rust,
+/// shaped for the autovectorizer. Falls back to the scalar kernel if
+/// the accumulator has no lane plan (`ts <= 0`, i.e. a format at
+/// least as fine as `f64` — not reachable with the paper's formats).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_fused_portable<const MODE: u8, const TALLY: bool>(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    acc: &FloatFastF64,
+    row_offset: usize,
+    col_offset: usize,
+    b_all_finite: bool,
+    tally: &mut QuantTally,
+) {
+    let Some(plan) = acc.lane_plan() else {
+        return gemm_fused::<MODE, TALLY>(
+            out,
+            ad,
+            bd,
+            n,
+            k,
+            m,
+            acc,
+            row_offset,
+            col_offset,
+            b_all_finite,
+            tally,
+        );
+    };
+    for i in 0..n {
+        let gi = i + row_offset;
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * m..(i + 1) * m];
+        let mut j0 = 0;
+        while j0 < m {
+            let j1 = (j0 + J_TILE).min(m);
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 && b_all_finite {
+                    continue;
+                }
+                let av = av as f64;
+                let brow = &bd[kk * m..kk * m + m];
+                let mut j = j0;
+                while j + L <= j1 {
+                    let mut prods = [0f64; L];
+                    let mut sums = [0f64; L];
+                    let mut idxs = [0u64; L];
+                    let mut any_nonzero = false;
+                    for l in 0..L {
+                        prods[l] = av * brow[j + l] as f64;
+                        sums[l] = orow[j + l] as f64 + prods[l];
+                        idxs[l] = sr_event_index(gi, j + l + col_offset, kk, MacStage::Accumulate);
+                        any_nonzero |= prods[l] != 0.0;
+                    }
+                    if any_nonzero {
+                        let mut q = sums;
+                        acc.quantize_block_indexed::<MODE, L>(&plan, &mut q, &idxs);
+                        for l in 0..L {
+                            // Zero products leave the lane untouched
+                            // (and unrecorded), like the scalar skip.
+                            if prods[l] == 0.0 {
+                                continue;
+                            }
+                            if TALLY {
+                                tally.record(sums[l], q[l]);
+                            }
+                            orow[j + l] = q[l] as f32;
+                        }
+                    }
+                    j += L;
+                }
+                while j < j1 {
+                    let product = av * brow[j] as f64;
+                    if product != 0.0 {
+                        let sum = orow[j] as f64 + product;
+                        let idx = sr_event_index(gi, j + col_offset, kk, MacStage::Accumulate);
+                        let q = acc.quantize::<MODE>(sum, idx);
+                        if TALLY {
+                            tally.record(sum, q);
+                        }
+                        orow[j] = q as f32;
+                    }
+                    j += 1;
+                }
+            }
+            j0 = j1;
+        }
+    }
+}
+
+/// The AVX2 fused kernel (x86_64 only): explicit intrinsics for the
+/// 4-lane widen → multiply → add → quantize pipeline, sharing the
+/// `f64` lane quantizer with `mpt-formats`.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    #![allow(unsafe_code)]
+
+    use core::arch::x86_64::*;
+
+    use super::*;
+    use mpt_formats::simd_avx2::QuantVecF64;
+    use mpt_formats::sr::hash;
+
+    /// Collapses a 4×`f64` compare mask to a 4×`f32` mask (low dword
+    /// of each 64-bit lane, which is all-ones/all-zero).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn narrow_mask_pd(m: __m256d) -> __m128 {
+        let mi = _mm256_castpd_si256(m);
+        let t = _mm256_permute4x64_epi64::<0x08>(_mm256_shuffle_epi32::<0x88>(mi));
+        _mm_castsi128_ps(_mm256_castsi256_si128(t))
+    }
+
+    /// AVX2 fused kernel entry: re-checks CPU support defensively
+    /// (dispatch already did) and falls back to the portable tier,
+    /// or to the scalar kernel when the accumulator has no lane plan.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gemm_fused_avx2<const MODE: u8, const TALLY: bool>(
+        out: &mut [f32],
+        ad: &[f32],
+        bd: &[f32],
+        n: usize,
+        k: usize,
+        m: usize,
+        acc: &FloatFastF64,
+        row_offset: usize,
+        col_offset: usize,
+        b_all_finite: bool,
+        tally: &mut QuantTally,
+    ) {
+        if !mpt_formats::simd::avx2_supported() {
+            return gemm_fused_portable::<MODE, TALLY>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                acc,
+                row_offset,
+                col_offset,
+                b_all_finite,
+                tally,
+            );
+        }
+        let Some(plan) = acc.lane_plan() else {
+            return gemm_fused::<MODE, TALLY>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                acc,
+                row_offset,
+                col_offset,
+                b_all_finite,
+                tally,
+            );
+        };
+        // SAFETY: AVX2 availability checked at runtime just above.
+        unsafe {
+            inner::<MODE, TALLY>(
+                out,
+                ad,
+                bd,
+                n,
+                k,
+                m,
+                acc,
+                &plan,
+                row_offset,
+                col_offset,
+                b_all_finite,
+                tally,
+            )
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn inner<const MODE: u8, const TALLY: bool>(
+        out: &mut [f32],
+        ad: &[f32],
+        bd: &[f32],
+        n: usize,
+        k: usize,
+        m: usize,
+        acc: &FloatFastF64,
+        plan: &LanePlanF64,
+        row_offset: usize,
+        col_offset: usize,
+        b_all_finite: bool,
+        tally: &mut QuantTally,
+    ) {
+        let qv = QuantVecF64::new(plan);
+        let zero_pd = _mm256_setzero_pd();
+        for i in 0..n {
+            let gi = i + row_offset;
+            let arow = &ad[i * k..(i + 1) * k];
+            let orow = &mut out[i * m..(i + 1) * m];
+            let mut j0 = 0;
+            while j0 < m {
+                let j1 = (j0 + J_TILE).min(m);
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 && b_all_finite {
+                        continue;
+                    }
+                    let av = av as f64;
+                    let av_v = _mm256_set1_pd(av);
+                    let brow = &bd[kk * m..kk * m + m];
+                    let mut j = j0;
+                    while j + 4 <= j1 {
+                        // Widen 4 B lanes and the 4 output lanes; the
+                        // vector multiply/add are IEEE-identical to
+                        // the scalar `av * b as f64` / `o + product`.
+                        let b4 = _mm256_cvtps_pd(_mm_loadu_ps(brow.as_ptr().add(j)));
+                        let prod = _mm256_mul_pd(av_v, b4);
+                        let pz = _mm256_cmp_pd::<_CMP_EQ_OQ>(prod, zero_pd);
+                        let pz_bits = _mm256_movemask_pd(pz) as u32;
+                        if pz_bits == 0xF {
+                            // All four products are exactly zero: the
+                            // scalar kernel skips all four lanes.
+                            j += 4;
+                            continue;
+                        }
+                        let o4_32 = _mm_loadu_ps(orow.as_ptr().add(j));
+                        let sum = _mm256_add_pd(_mm256_cvtps_pd(o4_32), prod);
+                        // SR hash inputs per lane, from the exact
+                        // `sr_event_index` packing (no incremental
+                        // shortcut — safe against field overflow).
+                        let h = if MODE == mode::SR {
+                            let hi = |jj: usize| {
+                                (plan.seed
+                                    ^ sr_event_index(gi, jj + col_offset, kk, MacStage::Accumulate)
+                                        .wrapping_mul(hash::INDEX_MUL))
+                                    as i64
+                            };
+                            _mm256_set_epi64x(hi(j + 3), hi(j + 2), hi(j + 1), hi(j))
+                        } else {
+                            _mm256_setzero_si256()
+                        };
+                        let (res, lanes_ok) = qv.quantize4::<MODE>(sum, h);
+                        // Lanes needing the scalar path: outside the
+                        // fast regime AND not a zero-product skip.
+                        let need_scalar = !lanes_ok & 0xF & !pz_bits;
+                        // Narrow to f32 (vcvtpd2ps == the scalar `as
+                        // f32` cast per lane) and keep old values on
+                        // zero-product lanes.
+                        let q32 = _mm256_cvtpd_ps(res);
+                        let merged = _mm_blendv_ps(q32, o4_32, narrow_mask_pd(pz));
+                        _mm_storeu_ps(orow.as_mut_ptr().add(j), merged);
+                        if TALLY || need_scalar != 0 {
+                            let mut sums = [0f64; 4];
+                            _mm256_storeu_pd(sums.as_mut_ptr(), sum);
+                            let mut qs = [0f64; 4];
+                            _mm256_storeu_pd(qs.as_mut_ptr(), res);
+                            for l in 0..4 {
+                                if pz_bits & (1 << l) != 0 {
+                                    continue;
+                                }
+                                let q = if need_scalar & (1 << l) != 0 {
+                                    let idx = sr_event_index(
+                                        gi,
+                                        j + l + col_offset,
+                                        kk,
+                                        MacStage::Accumulate,
+                                    );
+                                    let q = acc.quantize::<MODE>(sums[l], idx);
+                                    orow[j + l] = q as f32;
+                                    q
+                                } else {
+                                    qs[l]
+                                };
+                                if TALLY {
+                                    tally.record(sums[l], q);
+                                }
+                            }
+                        }
+                        j += 4;
+                    }
+                    while j < j1 {
+                        let product = av * brow[j] as f64;
+                        if product != 0.0 {
+                            let sum = orow[j] as f64 + product;
+                            let idx = sr_event_index(gi, j + col_offset, kk, MacStage::Accumulate);
+                            let q = acc.quantize::<MODE>(sum, idx);
+                            if TALLY {
+                                tally.record(sum, q);
+                            }
+                            orow[j] = q as f32;
+                        }
+                        j += 1;
+                    }
+                }
+                j0 = j1;
+            }
+        }
+    }
+}

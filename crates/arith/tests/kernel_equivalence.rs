@@ -5,10 +5,22 @@
 //! seed and offset, including operands containing zeros, infinities
 //! and saturation-range values.
 
-use mpt_arith::{qgemm_parallel, qgemm_reference, qgemm_with_offsets, MacConfig, QGemmConfig};
-use mpt_formats::{FloatFormat, NumberFormat, Quantizer, Rounding};
+use mpt_arith::{
+    qgemm_parallel, qgemm_reference, qgemm_with_offsets, qgemm_with_tier, MacConfig, QGemmConfig,
+};
+use mpt_formats::{FloatFormat, NumberFormat, Quantizer, Rounding, SimdTier};
 use mpt_tensor::Tensor;
 use proptest::prelude::*;
+
+/// Every kernel tier testable on this host (`Avx2` falls back to the
+/// portable kernel on non-AVX2 CPUs, which must be bit-identical too).
+fn all_tiers() -> Vec<SimdTier> {
+    let mut tiers = vec![SimdTier::Off, SimdTier::Portable];
+    if cfg!(target_arch = "x86_64") {
+        tiers.push(SimdTier::Avx2);
+    }
+    tiers
+}
 
 fn modes() -> impl Strategy<Value = Rounding> {
     prop_oneof![
@@ -145,5 +157,67 @@ proptest! {
         let fast = qgemm_with_offsets(&a, &b, &cfg, 0, 0).unwrap();
         let reference = qgemm_reference(&a, &b, &cfg, 0, 0).unwrap();
         assert_bitwise_eq(&fast, &reference)?;
+    }
+
+    /// Every SIMD tier of the dispatched kernel equals the scalar
+    /// reference — random shapes (exercising 4-lane MAC tails when
+    /// `m % 4 != 0`), every config family and rounding mode, random
+    /// SR seeds and offsets.
+    #[test]
+    fn qgemm_tiers_match_reference(
+        (n, k, m) in (1usize..10, 1usize..12, 1usize..14),
+        cfg in configs(),
+        seed in 0u64..1 << 20,
+        (ro, co) in (0usize..64, 0usize..64),
+        abig in matrix(9, 11, 4.0),
+        bbig in matrix(11, 13, 4.0),
+    ) {
+        let a = Tensor::from_fn(vec![n, k], |i| abig.data()[i % abig.data().len()]);
+        let b = Tensor::from_fn(vec![k, m], |i| bbig.data()[i % bbig.data().len()]);
+        let cfg = cfg.with_seed(seed);
+        let reference = qgemm_reference(&a, &b, &cfg, ro, co).unwrap();
+        for tier in all_tiers() {
+            let fast = qgemm_with_tier(&a, &b, &cfg, ro, co, tier).unwrap();
+            prop_assert_eq!(
+                fast.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "tier {} != reference", tier.name()
+            );
+        }
+    }
+
+    /// Non-finite and zero-product corner operands agree across tiers
+    /// (the vector kernels' zero-product lane blending and
+    /// scalar-fallback lanes are the risk here).
+    #[test]
+    fn tiers_agree_on_special_operands(
+        cfg in configs(),
+        seed in 0u64..1 << 16,
+        special in prop_oneof![
+            Just(f32::INFINITY),
+            Just(f32::NEG_INFINITY),
+            Just(f32::NAN),
+            Just(0.0f32),
+            Just(-0.0f32),
+            Just(f32::from_bits(1)), // subnormal
+        ],
+        pos in 0usize..91,
+        a in matrix(7, 13, 2.0),
+        b in matrix(13, 7, 2.0),
+    ) {
+        let cfg = cfg.with_seed(seed);
+        let mut bd = b.data().to_vec();
+        let p = pos % bd.len();
+        bd[p] = special;
+        let b = Tensor::from_vec(vec![13, 7], bd).unwrap();
+        let reference = qgemm_with_tier(&a, &b, &cfg, 0, 0, SimdTier::Off).unwrap();
+        for tier in [SimdTier::Portable, SimdTier::Avx2] {
+            let fast = qgemm_with_tier(&a, &b, &cfg, 0, 0, tier).unwrap();
+            prop_assert_eq!(
+                fast.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "tier {} != off tier", tier.name()
+            );
+        }
     }
 }

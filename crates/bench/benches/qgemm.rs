@@ -3,8 +3,11 @@
 //! scaling of the multi-threaded kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mpt_arith::{default_threads, qgemm, qgemm_parallel, qgemm_reference, MacConfig, QGemmConfig};
-use mpt_formats::Rounding;
+use mpt_arith::{
+    default_threads, qgemm, qgemm_parallel, qgemm_reference, qgemm_with_tier, MacConfig,
+    QGemmConfig,
+};
+use mpt_formats::{Rounding, SimdTier};
 use mpt_tensor::Tensor;
 
 fn operands(n: usize, k: usize, m: usize) -> (Tensor, Tensor) {
@@ -47,21 +50,75 @@ fn bench_configs(c: &mut Criterion) {
 }
 
 /// Fast dispatched kernels versus the scalar reference loop on the
-/// headline shape/config — the speedup the kernel layer buys (both
-/// paths are bit-identical, asserted by `tests/kernel_equivalence.rs`).
+/// headline shape/config — the speedup the kernel layer buys, per
+/// SIMD tier. Bit-equality of every measured path against the scalar
+/// oracle is asserted *inside this bench* before timing starts (in
+/// addition to `tests/kernel_equivalence.rs`), so a throughput row
+/// can never come from a kernel that diverged.
+///
+/// Row meanings:
+/// * `fp8_fp12_sr_fast` — the scalar-dispatch fast kernel
+///   (`MPT_SIMD=off` tier), the pre-SIMD baseline;
+/// * `fp8_fp12_sr_simd_portable` — the safe lane-array tier;
+/// * `fp8_fp12_sr_simd` — the widest tier the host supports (AVX2 on
+///   x86_64), which is what `MPT_SIMD=auto` dispatches to;
+/// * `fp8_fp12_sr_fast_pool` / `fp8_fp12_sr_pool_t1` — the persistent
+///   pool at `default_threads()` and pinned to one thread (the
+///   caller-thread fast exit, gated to within 1% of the direct
+///   kernel by `scripts/bench_qgemm.sh`).
 fn bench_kernels(c: &mut Criterion) {
     let (a, b) = operands(128, 96, 96);
     let cfg = QGemmConfig::fp8_fp12_sr();
+    let simd_tier = mpt_formats::simd::widest_supported_tier();
+
+    // Bit-equality preflight: every path measured below must equal
+    // the scalar oracle exactly.
+    let oracle = qgemm_reference(&a, &b, &cfg, 0, 0).expect("conforming");
+    for tier in [SimdTier::Off, SimdTier::Portable, simd_tier] {
+        let out = qgemm_with_tier(&a, &b, &cfg, 0, 0, tier).expect("conforming");
+        assert_eq!(
+            out.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            oracle
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "tier {} diverges from qgemm_reference; refusing to bench it",
+            tier.name()
+        );
+    }
+    for threads in [1, default_threads()] {
+        let out = qgemm_parallel(&a, &b, &cfg, threads).expect("conforming");
+        assert_eq!(
+            out.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            oracle
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "pool path (x{threads}) diverges from qgemm_reference; refusing to bench it"
+        );
+    }
+
     let mut group = c.benchmark_group("qgemm_kernels_128x96x96");
     group.throughput(Throughput::Elements((128 * 96 * 96) as u64));
     group.bench_function("fp8_fp12_sr_reference", |bch| {
         bch.iter(|| qgemm_reference(&a, &b, &cfg, 0, 0).expect("conforming"))
     });
     group.bench_function("fp8_fp12_sr_fast", |bch| {
-        bch.iter(|| qgemm(&a, &b, &cfg).expect("conforming"))
+        bch.iter(|| qgemm_with_tier(&a, &b, &cfg, 0, 0, SimdTier::Off).expect("conforming"))
+    });
+    group.bench_function("fp8_fp12_sr_simd_portable", |bch| {
+        bch.iter(|| qgemm_with_tier(&a, &b, &cfg, 0, 0, SimdTier::Portable).expect("conforming"))
+    });
+    group.bench_function("fp8_fp12_sr_simd", |bch| {
+        bch.iter(|| qgemm_with_tier(&a, &b, &cfg, 0, 0, simd_tier).expect("conforming"))
     });
     group.bench_function("fp8_fp12_sr_fast_pool", |bch| {
         bch.iter(|| qgemm_parallel(&a, &b, &cfg, default_threads()).expect("conforming"))
+    });
+    group.bench_function("fp8_fp12_sr_pool_t1", |bch| {
+        bch.iter(|| qgemm_parallel(&a, &b, &cfg, 1).expect("conforming"))
     });
     group.finish();
 }

@@ -18,8 +18,10 @@
 
 use crate::corpus::Corpus;
 use crate::digest::{bits_equal, first_divergence};
-use mpt_arith::{qgemm, qgemm_parallel, qgemm_reference, MacConfig, QGemmConfig};
-use mpt_formats::{BlockFpFormat, FixedFormat, FloatFormat, NumberFormat, Quantizer, Rounding};
+use mpt_arith::{qgemm, qgemm_parallel, qgemm_reference, qgemm_with_tier, MacConfig, QGemmConfig};
+use mpt_formats::{
+    BlockFpFormat, FixedFormat, FloatFormat, NumberFormat, Quantizer, Rounding, SimdTier,
+};
 use mpt_fpga::{Accelerator, PipelinedExecutor, SaConfig, DEFAULT_CACHE_BUDGET};
 use mpt_tensor::Tensor;
 
@@ -121,9 +123,9 @@ pub fn degenerate_shapes() -> &'static [(usize, usize, usize)] {
     &[(0, 5, 3), (4, 0, 3), (4, 1, 3), (5, 7, 0), (1, 1, 1)]
 }
 
-/// Asserts `qgemm_reference ≡ qgemm ≡ qgemm_parallel(1/2/4/8) ≡
-/// fpga::sim::execute ≡ pipelined launch (cold and warm cache)`,
-/// bit-for-bit, on the given operands.
+/// Asserts `qgemm_reference ≡ qgemm ≡ qgemm (every SIMD tier) ≡
+/// qgemm_parallel(1/2/4/8) ≡ fpga::sim::execute ≡ pipelined launch
+/// (cold and warm cache)`, bit-for-bit, on the given operands.
 ///
 /// # Errors
 ///
@@ -160,6 +162,15 @@ pub fn check_all_paths(
 
     let fast = qgemm(a, b, cfg).map_err(|e| format!("{name}: qgemm failed: {e}"))?;
     compare("qgemm (fast kernels)", &fast)?;
+
+    // Every SIMD tier explicitly, independent of the ambient
+    // `MPT_SIMD` selection (on non-AVX2 hosts the avx2 entry falls
+    // back to the portable kernel, which must also match).
+    for tier in [SimdTier::Off, SimdTier::Portable, SimdTier::Avx2] {
+        let tiered = qgemm_with_tier(a, b, cfg, 0, 0, tier)
+            .map_err(|e| format!("{name}: qgemm tier {} failed: {e}", tier.name()))?;
+        compare(&format!("qgemm (tier {})", tier.name()), &tiered)?;
+    }
 
     for threads in PARALLEL_THREAD_COUNTS {
         let par = qgemm_parallel(a, b, cfg, threads)

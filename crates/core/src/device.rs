@@ -200,6 +200,17 @@ impl FpgaDevice {
 }
 
 impl Device {
+    /// The SIMD tier the host-side emulation kernels dispatch to —
+    /// `"off"`, `"portable"`, or `"avx2"`, selected once per process
+    /// by `MPT_SIMD` (default `auto` = widest supported). Applies to
+    /// both variants: the CPU device runs whole GEMMs through these
+    /// kernels, and the FPGA device uses them for its bit-identical
+    /// fallback path. Purely informational — every tier produces the
+    /// same bits.
+    pub fn kernel_tier(&self) -> &'static str {
+        mpt_formats::simd::active_tier().name()
+    }
+
     /// Convenience constructor: an FPGA device with configuration
     /// `⟨n, m, c⟩` at the synthesis database's achieved frequency.
     ///

@@ -195,6 +195,15 @@ pub fn train_cnn_resumable(
     // One enabled() check per run; per-step/per-epoch event emission
     // only ever touches the telemetry sink, never the numerics.
     let telemetry = mpt_telemetry::enabled();
+    if telemetry {
+        // Record which kernel tier this run dispatches to (`MPT_SIMD`;
+        // bit-transparent either way, but it explains throughput when
+        // comparing run logs across hosts).
+        mpt_telemetry::event(&[
+            mpt_telemetry::json::Field::Str("type", "run_config"),
+            mpt_telemetry::json::Field::Str("simd_tier", mpt_formats::simd::active_tier().name()),
+        ]);
+    }
     let mut processed = 0usize;
     'epochs: for epoch in start_epoch..cfg.epochs {
         let (mut loss_sum, mut batches, mut samples) = if epoch == start_epoch {

@@ -266,22 +266,43 @@ impl Quantizer {
     /// path the GEMM kernels use; other families fall back to the
     /// scalar oracle. Bit-identical to the scalar path in all cases.
     pub fn quantize_slice_f32(&self, values: &mut [f32], base_index: u64) {
+        self.quantize_slice_f32_tier(values, base_index, crate::simd::active_tier());
+    }
+
+    /// [`quantize_slice_f32`](Quantizer::quantize_slice_f32) with an
+    /// explicit SIMD tier instead of the ambient `MPT_SIMD` selection.
+    /// Every tier is bit-identical; this entry exists so benches and
+    /// differential tests can compare tiers within one process.
+    pub fn quantize_slice_f32_tier(
+        &self,
+        values: &mut [f32],
+        base_index: u64,
+        tier: crate::simd::SimdTier,
+    ) {
         if self.is_identity() {
             return;
         }
         if mpt_telemetry::enabled() {
             let before = values.to_vec();
-            self.quantize_slice_f32_inner(values, base_index);
+            self.quantize_slice_f32_inner(values, base_index, tier);
             self.tally_pairs(&before, values);
             return;
         }
-        self.quantize_slice_f32_inner(values, base_index);
+        self.quantize_slice_f32_inner(values, base_index, tier);
     }
 
-    fn quantize_slice_f32_inner(&self, values: &mut [f32], base_index: u64) {
+    fn quantize_slice_f32_inner(
+        &self,
+        values: &mut [f32],
+        base_index: u64,
+        tier: crate::simd::SimdTier,
+    ) {
         if let NumberFormat::Float(f) = self.format {
             if let Some(fast) = FloatFastF32::new(f, self.rounding, self.rng) {
-                fast.quantize_slice_dyn(values, base_index);
+                // Lane kernels — every tier is bit-identical to the
+                // scalar loop, so the telemetry observe-after wrapper
+                // above stays tier-independent.
+                fast.quantize_slice_tier_dyn(values, base_index, tier);
                 return;
             }
         }

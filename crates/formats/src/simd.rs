@@ -1,0 +1,179 @@
+//! Kernel-tier selection for the lane-parallel quantize and MAC paths.
+//!
+//! The hot loops in this crate ([`crate::FloatFastF32`] /
+//! [`crate::FloatFastF64`]) and in `mpt-arith`'s fused GEMM kernel
+//! exist in three implementations that produce **bit-identical**
+//! results:
+//!
+//! | tier       | implementation                                        |
+//! |------------|-------------------------------------------------------|
+//! | `Off`      | the original scalar bit-twiddling loops               |
+//! | `Portable` | fixed-width lane arrays (8×`f32` / 4×`f64` per block) in plain safe Rust, shaped for the autovectorizer |
+//! | `Avx2`     | explicit `core::arch::x86_64` AVX2 intrinsics, 8×`f32` / 4×`f64` per iteration |
+//!
+//! [`active_tier`] resolves the process-wide tier **once**: the
+//! `MPT_SIMD` environment knob (`auto`/`off`/`portable`/`avx2`)
+//! combined with `is_x86_feature_detected!("avx2")` runtime dispatch.
+//! `auto` (the default) picks the widest tier the host supports.
+//! Benches and differential tests bypass the ambient tier through the
+//! explicit `*_tier` entry points
+//! ([`crate::FloatFastF32::quantize_slice_tier`],
+//! `mpt_arith::qgemm_with_tier`) so several tiers can be compared
+//! within one process.
+//!
+//! Bit-identity across tiers is not incidental: every lane computes
+//! the exact same integer/float operation sequence as the scalar
+//! kernel (IEEE 754 arithmetic is fully specified, and the
+//! stochastic-rounding stream is a pure function of `(seed, event
+//! index)`), lanes that leave the provable fast regime fall back to
+//! the scalar oracle per element, and reductions never reassociate —
+//! see `DESIGN.md` §6 "Lane-parallel kernels & dispatch".
+
+use std::sync::OnceLock;
+
+/// One of the three bit-identical kernel implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdTier {
+    /// Scalar bit-twiddling loops (the pre-SIMD kernels).
+    Off,
+    /// Fixed-width lane-array blocks in safe Rust (autovectorizable).
+    Portable,
+    /// Explicit AVX2 intrinsics (x86_64 with runtime detection only).
+    Avx2,
+}
+
+impl SimdTier {
+    /// Stable lower-case name (`off`/`portable`/`avx2`) — the values
+    /// `MPT_SIMD` accepts and the telemetry dispatch counters use.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Off => "off",
+            SimdTier::Portable => "portable",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+
+    /// Every tier the current host can execute, widest last.
+    pub fn available() -> &'static [SimdTier] {
+        if avx2_supported() {
+            &[SimdTier::Off, SimdTier::Portable, SimdTier::Avx2]
+        } else {
+            &[SimdTier::Off, SimdTier::Portable]
+        }
+    }
+}
+
+impl std::fmt::Display for SimdTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `true` when the host CPU supports AVX2 (runtime detection;
+/// always `false` off x86_64).
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The widest tier the host supports — what `MPT_SIMD=auto` resolves
+/// to.
+pub fn widest_supported_tier() -> SimdTier {
+    if avx2_supported() {
+        SimdTier::Avx2
+    } else {
+        SimdTier::Portable
+    }
+}
+
+/// Parses one `MPT_SIMD` value. `auto` (and the empty string) defer
+/// to runtime detection; unknown values return `Err` with the
+/// offending string.
+pub fn parse_tier(value: &str) -> Result<SimdTier, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => Ok(widest_supported_tier()),
+        "off" | "scalar" => Ok(SimdTier::Off),
+        "portable" => Ok(SimdTier::Portable),
+        "avx2" => {
+            if avx2_supported() {
+                Ok(SimdTier::Avx2)
+            } else {
+                Err("MPT_SIMD=avx2 requested but the host CPU lacks AVX2; \
+                     falling back to `portable`"
+                    .to_string())
+            }
+        }
+        other => Err(format!(
+            "unknown MPT_SIMD value `{other}` (expected auto|off|portable|avx2); \
+             falling back to `auto`"
+        )),
+    }
+}
+
+/// The process-wide kernel tier, resolved once from `MPT_SIMD` plus
+/// runtime CPU detection (see module docs). Invalid or unsupported
+/// requests warn on stderr and degrade to the widest *supported*
+/// tier rather than aborting — a mis-set knob must never take down a
+/// training run.
+pub fn active_tier() -> SimdTier {
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let requested = std::env::var("MPT_SIMD").unwrap_or_default();
+        match parse_tier(&requested) {
+            Ok(tier) => tier,
+            Err(msg) => {
+                eprintln!("mpt-formats: {msg}");
+                if requested.trim().eq_ignore_ascii_case("avx2") {
+                    SimdTier::Portable
+                } else {
+                    widest_supported_tier()
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for tier in [SimdTier::Off, SimdTier::Portable] {
+            assert_eq!(parse_tier(tier.name()), Ok(tier));
+        }
+        if avx2_supported() {
+            assert_eq!(parse_tier("avx2"), Ok(SimdTier::Avx2));
+            assert_eq!(parse_tier("AVX2"), Ok(SimdTier::Avx2));
+        }
+    }
+
+    #[test]
+    fn auto_and_empty_pick_the_widest_supported() {
+        assert_eq!(parse_tier("auto"), Ok(widest_supported_tier()));
+        assert_eq!(parse_tier(""), Ok(widest_supported_tier()));
+    }
+
+    #[test]
+    fn unknown_values_error() {
+        assert!(parse_tier("sse9").is_err());
+    }
+
+    #[test]
+    fn available_ends_with_the_widest() {
+        let avail = SimdTier::available();
+        assert_eq!(avail.first(), Some(&SimdTier::Off));
+        assert_eq!(avail.last(), Some(&widest_supported_tier()));
+    }
+
+    #[test]
+    fn active_tier_is_stable() {
+        assert_eq!(active_tier(), active_tier());
+    }
+}

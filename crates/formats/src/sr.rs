@@ -53,11 +53,21 @@ impl SrRng {
     #[inline]
     pub fn bits(&self, index: u64, nbits: u32) -> u64 {
         assert!(nbits <= 64, "at most 64 random bits per event");
-        if nbits == 0 {
-            return 0;
-        }
-        let word = mix(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        word >> (64 - nbits)
+        hash::bits_from_input(self.hash_input(index), nbits)
+    }
+
+    /// The pre-mix hash input for rounding event `index`:
+    /// `seed ^ index · INDEX_MUL` (wrapping).
+    ///
+    /// Lane-parallel kernels precompute this incrementally — for
+    /// consecutive indices the input advances by a wrapping *add* of
+    /// [`hash::INDEX_MUL`] (multiplication distributes over addition
+    /// modulo 2⁶⁴), so no per-lane 64-bit multiply is needed — and
+    /// then feed it to [`hash::bits_from_input`]. Bit-identical to
+    /// [`bits`](Self::bits) by construction.
+    #[inline]
+    pub fn hash_input(&self, index: u64) -> u64 {
+        self.seed ^ index.wrapping_mul(hash::INDEX_MUL)
     }
 
     /// Returns a uniform value in `[0, 1)` with `nbits` of resolution,
@@ -69,13 +79,42 @@ impl SrRng {
     }
 }
 
-/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
-#[inline]
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+/// The SplitMix64 pipeline, decomposed for the lane-parallel kernels.
+///
+/// [`SrRng::bits`] is exactly
+/// `bits_from_input(seed ^ index · INDEX_MUL, nbits)`. The SIMD
+/// quantizers replicate this pipeline lane-wise (the two `MIX_MUL_*`
+/// multiplies become vector multiplies; the index multiply becomes an
+/// incremental add of `INDEX_MUL` per lane) and the differential
+/// tests in `tests/fast_equivalence.rs` pin the equality per lane.
+pub mod hash {
+    /// Multiplier decorrelating consecutive event indices.
+    pub const INDEX_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+    /// Additive constant of the SplitMix64 finalizer.
+    pub const MIX_ADD: u64 = 0x9E37_79B9_7F4A_7C15;
+    /// First finalizer multiplier.
+    pub const MIX_MUL_1: u64 = 0xBF58_476D_1CE4_E5B9;
+    /// Second finalizer multiplier.
+    pub const MIX_MUL_2: u64 = 0x94D0_49BB_1331_11EB;
+
+    /// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+    #[inline]
+    pub fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(MIX_ADD);
+        z = (z ^ (z >> 30)).wrapping_mul(MIX_MUL_1);
+        z = (z ^ (z >> 27)).wrapping_mul(MIX_MUL_2);
+        z ^ (z >> 31)
+    }
+
+    /// Finishes a pre-computed [`super::SrRng::hash_input`] into
+    /// `nbits` random bits (the top `nbits` of the mixed word).
+    #[inline]
+    pub fn bits_from_input(input: u64, nbits: u32) -> u64 {
+        if nbits == 0 {
+            return 0;
+        }
+        mix(input) >> (64 - nbits)
+    }
 }
 
 #[cfg(test)]

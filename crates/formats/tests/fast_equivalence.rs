@@ -6,9 +6,21 @@
 //! values straddling the saturation boundary.
 
 use mpt_formats::{
-    FixedFormat, FloatFastF32, FloatFastF64, FloatFormat, Quantizer, Rounding, SrRng,
+    FixedFormat, FloatFastF32, FloatFastF64, FloatFormat, Quantizer, Rounding, SimdTier, SrRng,
 };
 use proptest::prelude::*;
+
+/// Every tier that can run on this host. `Avx2` is included
+/// unconditionally on x86_64 — its entry points fall back to the
+/// portable kernel when the CPU lacks the feature, and the fallback
+/// must be bit-identical anyway.
+fn all_tiers() -> Vec<SimdTier> {
+    let mut tiers = vec![SimdTier::Off, SimdTier::Portable];
+    if cfg!(target_arch = "x86_64") {
+        tiers.push(SimdTier::Avx2);
+    }
+    tiers
+}
 
 /// Arbitrary `EeMm` with subnormal/saturation handling toggled — the
 /// f32-carrier space (`man <= 23` keeps quantization non-trivial, but
@@ -222,6 +234,72 @@ proptest! {
         }
     }
 
+    /// Every SIMD tier of the f32 slice kernel is bit-identical to
+    /// the scalar reference — across formats, modes (including SR
+    /// seeds), raw bit patterns (NaN payloads, ±inf, subnormals), and
+    /// slice lengths that are *not* multiples of the 8-wide lane
+    /// count (tail handling).
+    #[test]
+    fn slice_tiers_match_scalar(
+        fmt in float_formats_f32(),
+        mode in all_modes(),
+        values in proptest::collection::vec(f32_values(), 0..40),
+        seed in 0u64..1 << 16,
+        base in 0u64..1 << 40,
+    ) {
+        let q = Quantizer::float(fmt, mode).with_seed(seed);
+        for tier in all_tiers() {
+            let mut out = values.clone();
+            q.quantize_slice_f32_tier(&mut out, base, tier);
+            for (i, (&f, &v)) in out.iter().zip(values.iter()).enumerate() {
+                let reference = if q.is_identity() {
+                    v
+                } else {
+                    q.quantize_f32(v, base.wrapping_add(i as u64))
+                };
+                prop_assert_eq!(
+                    f.to_bits(),
+                    reference.to_bits(),
+                    "tier {} lane {}: {} != scalar {}",
+                    tier.name(), i, f, reference
+                );
+            }
+        }
+    }
+
+    /// The f64 lane-block kernel (`quantize_block_indexed`, the fused
+    /// GEMM accumulator's building block) matches the scalar kernel
+    /// for arbitrary — non-contiguous — event indices.
+    #[test]
+    fn f64_lane_block_matches_scalar(
+        fmt in float_formats_f64(),
+        mode in all_modes(),
+        vals in proptest::collection::vec(f64_values(), 4),
+        idxs in proptest::collection::vec(any::<u64>(), 4),
+        seed in 0u64..1 << 16,
+    ) {
+        let rng = SrRng::new(seed);
+        let Some(fast) = FloatFastF64::new(fmt, mode, rng) else {
+            return Ok(());
+        };
+        let Some(plan) = fast.lane_plan() else {
+            return Ok(());
+        };
+        let mut block = [vals[0], vals[1], vals[2], vals[3]];
+        let indices = [idxs[0], idxs[1], idxs[2], idxs[3]];
+        match mode {
+            Rounding::Nearest => fast.quantize_block_indexed::<{ mpt_formats::fast::mode::RN }, 4>(&plan, &mut block, &indices),
+            Rounding::TowardZero => fast.quantize_block_indexed::<{ mpt_formats::fast::mode::RZ }, 4>(&plan, &mut block, &indices),
+            Rounding::ToOdd => fast.quantize_block_indexed::<{ mpt_formats::fast::mode::RO }, 4>(&plan, &mut block, &indices),
+            Rounding::Stochastic { .. } => fast.quantize_block_indexed::<{ mpt_formats::fast::mode::SR }, 4>(&plan, &mut block, &indices),
+            Rounding::NoRound => return Ok(()),
+        }
+        for l in 0..4 {
+            let reference = fast.quantize_dyn(vals[l], indices[l]);
+            assert_bits_f64(block[l], reference)?;
+        }
+    }
+
     /// Negative zero survives both paths identically (sign preserved).
     #[test]
     fn negative_zero_preserved(
@@ -299,4 +377,66 @@ fn dense_sweep_slice_vs_scalar() {
         }
     }
     assert_eq!(failures, 0, "{failures} slice/scalar mismatches");
+}
+
+/// Deterministic tier sweep aimed squarely at the vector kernels'
+/// edge lanes: every slice length from 0 through two full 8-lane
+/// blocks plus a ragged tail, with NaN payloads, ±inf, carrier
+/// subnormals, and ±0 rotated through every lane position. Each tier
+/// must equal the scalar reference bit-for-bit (the proptest above
+/// samples this space; this pins the corners unconditionally).
+#[test]
+fn tier_lane_tails_and_specials() {
+    let specials = [
+        f32::from_bits(0x7fc1_2345), // quiet NaN, payload
+        f32::from_bits(0xffc0_0001), // negative NaN
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::from_bits(0x0000_0001), // smallest subnormal
+        f32::from_bits(0x807f_ffff), // largest negative subnormal
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,
+        1.5,
+        -65504.0,
+        3.0e-8,
+    ];
+    let formats = [
+        FloatFormat::e5m2(),
+        FloatFormat::new(4, 3).unwrap(),
+        FloatFormat::e6m5().without_subnormals(),
+        FloatFormat::new(5, 0).unwrap().with_infinities(),
+    ];
+    let modes = [
+        Rounding::Nearest,
+        Rounding::TowardZero,
+        Rounding::ToOdd,
+        Rounding::Stochastic { random_bits: 11 },
+    ];
+    for fmt in formats {
+        for mode in modes {
+            let q = Quantizer::float(fmt, mode).with_seed(77);
+            for len in 0..=19 {
+                for rot in 0..specials.len() {
+                    let values: Vec<f32> = (0..len)
+                        .map(|i| specials[(i + rot) % specials.len()])
+                        .collect();
+                    let mut reference = values.clone();
+                    q.quantize_slice_f32_tier(&mut reference, 31, SimdTier::Off);
+                    for tier in [SimdTier::Portable, SimdTier::Avx2] {
+                        let mut out = values.clone();
+                        q.quantize_slice_f32_tier(&mut out, 31, tier);
+                        let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+                        let rb: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(
+                            ob,
+                            rb,
+                            "tier {} diverged: fmt {fmt} mode {mode:?} len {len} rot {rot}",
+                            tier.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
 }

@@ -2,8 +2,15 @@
 # Runs the criterion `qgemm` benchmark group and assembles the raw
 # per-benchmark JSON lines into BENCH_qgemm.json, including the
 # before/after throughput comparison for the headline configuration
-# (128x96x96 fp8_fp12_sr: scalar reference kernel vs dispatched fast
-# kernel vs fast kernel on the persistent worker pool).
+# (128x96x96 fp8_fp12_sr: scalar reference kernel vs scalar-dispatch
+# fast kernel vs SIMD lane kernels vs the persistent worker pool).
+#
+# The bench binary itself asserts bit-equality of every measured path
+# against qgemm_reference before timing; this script then gates the
+# throughput ratios:
+#   * simd >= 1.5x over the scalar-dispatch fast kernel,
+#   * simd >= 4.5x over the scalar reference kernel,
+#   * the single-thread pool path within 1% of the direct kernel.
 #
 # Usage: scripts/bench_qgemm.sh [criterion-filter]
 set -euo pipefail
@@ -32,16 +39,25 @@ def rate(bench_id):
 
 ref = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_reference")
 fast = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_fast")
+portable = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_simd_portable")
+simd = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_simd")
 pool = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_fast_pool")
+pool_t1 = rate("qgemm_kernels_128x96x96/fp8_fp12_sr_pool_t1")
 
 out = {
     "benchmarks": rows,
     "headline_128x96x96_fp8_fp12_sr": {
         "reference_elem_per_s": ref,
         "fast_elem_per_s": fast,
+        "simd_portable_elem_per_s": portable,
+        "simd_elem_per_s": simd,
         "fast_pool_elem_per_s": pool,
+        "pool_t1_elem_per_s": pool_t1,
         "fast_speedup_vs_reference": (fast / ref) if ref and fast else None,
+        "simd_speedup_vs_reference": (simd / ref) if ref and simd else None,
+        "simd_speedup_vs_fast": (simd / fast) if fast and simd else None,
         "pool_speedup_vs_reference": (pool / ref) if ref and pool else None,
+        "pool_t1_vs_direct": (pool_t1 / simd) if simd and pool_t1 else None,
     },
 }
 json.dump(out, sys.stdout, indent=2)
@@ -49,10 +65,31 @@ print()
 EOF
 
 echo "wrote BENCH_qgemm.json"
-python3 -c "
-import json
-h = json.load(open('BENCH_qgemm.json'))['headline_128x96x96_fp8_fp12_sr']
-if h['fast_speedup_vs_reference']:
-    print(f\"headline fp8_fp12_sr: fast {h['fast_speedup_vs_reference']:.2f}x vs reference,\"
-          f\" pool {h['pool_speedup_vs_reference']:.2f}x\")
-"
+python3 <<'EOF'
+import json, sys
+
+h = json.load(open("BENCH_qgemm.json"))["headline_128x96x96_fp8_fp12_sr"]
+
+if h["simd_speedup_vs_fast"]:
+    print(f"headline fp8_fp12_sr: simd {h['simd_speedup_vs_reference']:.2f}x vs reference,"
+          f" {h['simd_speedup_vs_fast']:.2f}x vs scalar-dispatch fast,"
+          f" pool(t=1) at {100 * h['pool_t1_vs_direct']:.1f}% of direct")
+
+failures = []
+def gate(name, value, minimum):
+    if value is None:
+        return  # partial run (criterion filter) — nothing to gate
+    if value < minimum:
+        failures.append(f"{name} = {value:.3f} < required {minimum}")
+
+gate("simd_speedup_vs_fast", h["simd_speedup_vs_fast"], 1.5)
+gate("simd_speedup_vs_reference", h["simd_speedup_vs_reference"], 4.5)
+# The threads==1 pool call takes the caller-thread fast exit, so it
+# runs the very same direct kernel: anything beyond measurement noise
+# (1%) is a regression in the exit path.
+gate("pool_t1_vs_direct", h["pool_t1_vs_direct"], 0.99)
+
+if failures:
+    sys.exit("performance gate FAILED:\n  " + "\n  ".join(failures))
+print("performance gates passed")
+EOF
