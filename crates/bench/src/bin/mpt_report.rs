@@ -1,0 +1,601 @@
+//! `mpt-report` — turns a telemetry JSONL log (plus the optional
+//! Chrome trace and `BENCH_*.json` gate files) into `RESULTS.md`.
+//!
+//! ```text
+//! mpt-report --jsonl run.jsonl [--trace run.trace.json] \
+//!            [--bench BENCH_pipeline.json] [--out RESULTS.md]
+//! mpt-report --validate-trace run.trace.json [--require-stage-tracks 4]
+//! mpt-report --check-gates BENCH_pipeline.json.committed BENCH_pipeline.json
+//! ```
+//!
+//! The report generator is pure post-processing: it parses the event
+//! stream with the telemetry crate's own zero-dependency JSON parser
+//! and renders tables with [`TableWriter`], so the output matches the
+//! experiment binaries' style. `--validate-trace` exits non-zero when
+//! the trace is syntactically invalid, empty, or (with
+//! `--require-stage-tracks N`) has fewer than N `fpga-pipeline/`
+//! stage tracks. `--check-gates` exits non-zero when a gate field of
+//! the freshly measured `BENCH_pipeline.json` regressed beyond the
+//! tolerance against the committed copy.
+
+use mpt_bench::TableWriter;
+use mpt_telemetry::json::{self, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mpt-report --jsonl <events.jsonl> [--trace <trace.json>] \
+         [--bench <BENCH_pipeline.json>] [--out <RESULTS.md>]\n  \
+         mpt-report --validate-trace <trace.json> [--require-stage-tracks <N>]\n  \
+         mpt-report --check-gates <committed.json> <measured.json> [--tolerance <frac>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str).peekable();
+
+    let mut jsonl = None;
+    let mut trace = None;
+    let mut bench = None;
+    let mut out = "RESULTS.md".to_string();
+    let mut validate = None;
+    let mut require_tracks = 0usize;
+    let mut gates: Option<(String, String)> = None;
+    let mut tolerance = 0.10f64;
+
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v.to_string(),
+                None => {
+                    eprintln!("{name} takes a value");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match flag {
+            "--jsonl" => jsonl = Some(val("--jsonl")),
+            "--trace" => trace = Some(val("--trace")),
+            "--bench" => bench = Some(val("--bench")),
+            "--out" => out = val("--out"),
+            "--validate-trace" => validate = Some(val("--validate-trace")),
+            "--require-stage-tracks" => {
+                require_tracks = val("--require-stage-tracks").parse().unwrap_or_else(|_| {
+                    eprintln!("--require-stage-tracks takes a number");
+                    std::process::exit(2);
+                })
+            }
+            "--check-gates" => {
+                let committed = val("--check-gates");
+                let measured = val("--check-gates");
+                gates = Some((committed, measured));
+            }
+            "--tolerance" => {
+                tolerance = val("--tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance takes a fraction, e.g. 0.1");
+                    std::process::exit(2);
+                })
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = validate {
+        return validate_trace(&path, require_tracks);
+    }
+    if let Some((committed, measured)) = gates {
+        return check_gates(&committed, &measured, tolerance);
+    }
+    let Some(jsonl) = jsonl else { usage() };
+    generate_report(&jsonl, trace.as_deref(), bench.as_deref(), &out)
+}
+
+fn read_json(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---------------------------------------------------------------- validate
+
+fn validate_trace(path: &str, require_tracks: usize) -> ExitCode {
+    let doc = match read_json(path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("trace invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(Value::Array(events)) = doc.get("traceEvents") else {
+        eprintln!("trace invalid: {path}: no traceEvents array");
+        return ExitCode::FAILURE;
+    };
+    let complete = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .count();
+    if complete == 0 {
+        eprintln!("trace invalid: {path}: no complete (ph=X) events");
+        return ExitCode::FAILURE;
+    }
+    let stage_tracks = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("name").and_then(Value::as_str) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .is_some_and(|n| n.starts_with("fpga-pipeline/"))
+        })
+        .count();
+    if stage_tracks < require_tracks {
+        eprintln!(
+            "trace invalid: {path}: {stage_tracks} fpga-pipeline stage tracks, \
+             need {require_tracks}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("trace ok: {complete} complete events, {stage_tracks} stage tracks");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------- gates
+
+/// `BENCH_pipeline.json` fields gating CI, with the direction that
+/// counts as a regression (`true` = higher is better).
+const GATE_FIELDS: [(&str, bool); 3] = [
+    ("pack_reduction", true),
+    ("bytes_reduction", true),
+    ("cache_hits", true),
+];
+
+fn check_gates(committed: &str, measured: &str, tolerance: f64) -> ExitCode {
+    let (old, new) = match (read_json(committed), read_json(measured)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("gate check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for (field, higher_is_better) in GATE_FIELDS {
+        let (Some(was), Some(now)) = (
+            old.get(field).and_then(Value::as_f64),
+            new.get(field).and_then(Value::as_f64),
+        ) else {
+            // A field absent from either file is not comparable; the
+            // committed file defines which gates exist.
+            continue;
+        };
+        let ok = if higher_is_better {
+            now >= was * (1.0 - tolerance)
+        } else {
+            now <= was * (1.0 + tolerance)
+        };
+        if ok {
+            println!("gate ok: {field} committed={was:.3} measured={now:.3}");
+        } else {
+            eprintln!(
+                "gate REGRESSED: {field} committed={was:.3} measured={now:.3} \
+                 (tolerance {tolerance:.0}%)",
+                tolerance = tolerance * 100.0
+            );
+            failed = true;
+        }
+    }
+    // The modeled speedup is a ratio of two fields, checked as one gate.
+    if let (Some(oe), Some(op), Some(ne), Some(np)) = (
+        old.get("modeled_eager_s").and_then(Value::as_f64),
+        old.get("modeled_pipelined_s").and_then(Value::as_f64),
+        new.get("modeled_eager_s").and_then(Value::as_f64),
+        new.get("modeled_pipelined_s").and_then(Value::as_f64),
+    ) {
+        if op > 0.0 && np > 0.0 {
+            let (was, now) = (oe / op, ne / np);
+            if now >= was * (1.0 - tolerance) {
+                println!("gate ok: modeled_speedup committed={was:.3} measured={now:.3}");
+            } else {
+                eprintln!("gate REGRESSED: modeled_speedup committed={was:.3} measured={now:.3}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------- report
+
+/// Everything the report needs, folded out of one pass over the
+/// event stream.
+#[derive(Default)]
+struct RunData {
+    simd_tier: Option<String>,
+    steps: u64,
+    epochs: Vec<(u64, f64)>,
+    /// Exact per-span durations (ns), keyed by span name. Extern
+    /// spans (id 0 with a `count` field) are sums, not observations,
+    /// and are excluded.
+    span_ns: BTreeMap<String, Vec<u64>>,
+    /// `layer_health` rows keyed by (epoch, param).
+    health: Vec<(u64, String, f64, f64)>,
+    /// Cumulative `layer_quant` counters keyed by label, per epoch.
+    quant: BTreeMap<String, BTreeMap<u64, BTreeMap<String, u64>>>,
+    /// Last `stage_utilization` event, if any.
+    stage_util: Option<Value>,
+    loss_scale_events: u64,
+}
+
+const QUANT_KEYS: [&str; 9] = [
+    "total",
+    "exact",
+    "rounded",
+    "saturated",
+    "overflow_inf",
+    "flushed",
+    "sr_up",
+    "sr_down",
+    "nan",
+];
+
+fn fold_events(text: &str) -> RunData {
+    let mut data = RunData::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(ev) = json::parse(line) else { continue };
+        match ev.get("type").and_then(Value::as_str) {
+            Some("run_config") => {
+                data.simd_tier = ev
+                    .get("simd_tier")
+                    .and_then(Value::as_str)
+                    .map(String::from);
+            }
+            Some("step") => data.steps += 1,
+            Some("epoch") => {
+                if let (Some(e), Some(loss)) = (
+                    ev.get("epoch").and_then(Value::as_u64),
+                    ev.get("mean_loss").and_then(Value::as_f64),
+                ) {
+                    data.epochs.push((e, loss));
+                }
+            }
+            Some("span") => {
+                if ev.get("count").is_some() {
+                    continue; // extern span: dur is a sum over count
+                }
+                if let (Some(name), Some(ns)) = (
+                    ev.get("name").and_then(Value::as_str),
+                    ev.get("dur_ns").and_then(Value::as_u64),
+                ) {
+                    data.span_ns.entry(name.to_string()).or_default().push(ns);
+                }
+            }
+            Some("layer_health") => {
+                if let (Some(e), Some(p), Some(w), Some(g)) = (
+                    ev.get("epoch").and_then(Value::as_u64),
+                    ev.get("param").and_then(Value::as_str),
+                    ev.get("weight_l2").and_then(Value::as_f64),
+                    ev.get("grad_l2").and_then(Value::as_f64),
+                ) {
+                    data.health.push((e, p.to_string(), w, g));
+                }
+            }
+            Some("layer_quant") => {
+                if let (Some(e), Some(label)) = (
+                    ev.get("epoch").and_then(Value::as_u64),
+                    ev.get("label").and_then(Value::as_str),
+                ) {
+                    let row = data
+                        .quant
+                        .entry(label.to_string())
+                        .or_default()
+                        .entry(e)
+                        .or_default();
+                    for key in QUANT_KEYS {
+                        if let Some(v) = ev.get(key).and_then(Value::as_u64) {
+                            row.insert(key.to_string(), v);
+                        }
+                    }
+                }
+            }
+            Some("stage_utilization") => data.stage_util = Some(ev),
+            Some("loss_scale") => data.loss_scale_events += 1,
+            _ => {}
+        }
+    }
+    data
+}
+
+/// Exact quantile of a sorted sample (nearest-rank with linear
+/// interpolation) — the report has the full duration list, so unlike
+/// the in-process histogram no bucketing error applies.
+fn quantile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+fn us(ns: f64) -> String {
+    format!("{:.1}", ns / 1e3)
+}
+
+fn generate_report(jsonl: &str, trace: Option<&str>, bench: Option<&str>, out: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(jsonl) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {jsonl}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let data = fold_events(&text);
+    let mut md = String::new();
+    md.push_str("# Run report\n\n");
+    md.push_str("Generated by `mpt-report` from the telemetry event log.\n\n");
+
+    // -- run config ------------------------------------------------
+    md.push_str("## Run configuration\n\n");
+    md.push_str(&format!("- event log: `{jsonl}`\n"));
+    if let Some(tier) = &data.simd_tier {
+        md.push_str(&format!("- SIMD tier: `{tier}`\n"));
+    }
+    md.push_str(&format!("- training steps observed: {}\n", data.steps));
+    md.push_str(&format!(
+        "- loss-scale adjustments: {}\n",
+        data.loss_scale_events
+    ));
+    if let Some(t) = trace {
+        md.push_str(&format!("- Chrome trace: `{t}` (open in Perfetto)\n"));
+    }
+    if !data.epochs.is_empty() {
+        md.push('\n');
+        let mut t = TableWriter::new(vec!["epoch", "mean_loss"]);
+        for (e, loss) in &data.epochs {
+            t.row(vec![e.to_string(), format!("{loss:.4}")]);
+        }
+        md.push_str("```text\n");
+        md.push_str(&t.render());
+        md.push_str("```\n");
+    }
+    md.push('\n');
+
+    // -- latency percentiles --------------------------------------
+    md.push_str("## Latency percentiles (exact, from the event log)\n\n");
+    if data.span_ns.is_empty() {
+        md.push_str("No span events in the log (telemetry disabled?).\n\n");
+    } else {
+        let mut t = TableWriter::new(vec![
+            "span", "count", "p50_us", "p90_us", "p99_us", "max_us",
+        ]);
+        for (name, durs) in &data.span_ns {
+            let mut sorted = durs.clone();
+            sorted.sort_unstable();
+            t.row(vec![
+                name.clone(),
+                sorted.len().to_string(),
+                us(quantile_ns(&sorted, 0.5)),
+                us(quantile_ns(&sorted, 0.9)),
+                us(quantile_ns(&sorted, 0.99)),
+                us(*sorted.last().unwrap() as f64),
+            ]);
+        }
+        md.push_str("```text\n");
+        md.push_str(&t.render());
+        md.push_str("```\n\n");
+    }
+
+    // -- per-layer numeric health ---------------------------------
+    md.push_str("## Per-layer numeric health\n\n");
+    if data.health.is_empty() && data.quant.is_empty() {
+        md.push_str("No layer health events in the log.\n\n");
+    } else {
+        if let Some(last_epoch) = data.health.iter().map(|h| h.0).max() {
+            md.push_str(&format!(
+                "Weight/gradient L2 norms at epoch {last_epoch}:\n\n"
+            ));
+            let mut t = TableWriter::new(vec!["param", "weight_l2", "grad_l2"]);
+            for (e, p, w, g) in &data.health {
+                if *e == last_epoch {
+                    t.row(vec![p.clone(), format!("{w:.4}"), format!("{g:.4}")]);
+                }
+            }
+            md.push_str("```text\n");
+            md.push_str(&t.render());
+            md.push_str("```\n\n");
+        }
+        if !data.quant.is_empty() {
+            md.push_str(
+                "Final-epoch quantizer rates per layer group (differenced \
+                 from the cumulative counters):\n\n",
+            );
+            let mut t = TableWriter::new(vec![
+                "layer group",
+                "quantized",
+                "exact%",
+                "saturated%",
+                "underflow%",
+                "sr_up/down",
+            ]);
+            for (label, per_epoch) in &data.quant {
+                let epochs: Vec<&u64> = per_epoch.keys().collect();
+                let Some(&&last) = epochs.last() else {
+                    continue;
+                };
+                let cur = &per_epoch[&last];
+                let zero = BTreeMap::new();
+                let prev = if epochs.len() >= 2 {
+                    &per_epoch[epochs[epochs.len() - 2]]
+                } else {
+                    &zero
+                };
+                let delta = |k: &str| -> u64 {
+                    cur.get(k).copied().unwrap_or(0) - prev.get(k).copied().unwrap_or(0)
+                };
+                let total = delta("total");
+                if total == 0 {
+                    continue;
+                }
+                let pct = |k: &str| format!("{:.2}", 100.0 * delta(k) as f64 / total as f64);
+                t.row(vec![
+                    label.clone(),
+                    total.to_string(),
+                    pct("exact"),
+                    pct("saturated"),
+                    pct("flushed"),
+                    format!("{}/{}", delta("sr_up"), delta("sr_down")),
+                ]);
+            }
+            md.push_str("```text\n");
+            md.push_str(&t.render());
+            md.push_str("```\n\n");
+        }
+    }
+
+    // -- pipeline stage utilization -------------------------------
+    md.push_str("## FPGA pipeline stage utilization\n\n");
+    if let Some(ev) = &data.stage_util {
+        let wall = ev
+            .get("pipelined_elapsed_s")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let eager = ev
+            .get("eager_elapsed_s")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        md.push_str(&format!(
+            "Modeled pipelined wall {:.3} ms vs eager {:.3} ms ({:.2}x overlap).\n\n",
+            wall * 1e3,
+            eager * 1e3,
+            if wall > 0.0 { eager / wall } else { 0.0 }
+        ));
+        let mut t = TableWriter::new(vec!["stage", "busy_ms", "utilization"]);
+        for stage in ["pack", "transfer", "compute", "unpack"] {
+            let busy = ev
+                .get(&format!("busy_{stage}_s"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let util = ev
+                .get(&format!("util_{stage}"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            t.row(vec![
+                stage.to_string(),
+                format!("{:.3}", busy * 1e3),
+                format!("{:.1}%", util * 100.0),
+            ]);
+        }
+        md.push_str("```text\n");
+        md.push_str(&t.render());
+        md.push_str("```\n\n");
+    } else {
+        md.push_str("No stage_utilization events (run used the CPU backend?).\n\n");
+    }
+
+    // -- cache rates from the bench gate file ---------------------
+    if let Some(bench_path) = bench {
+        md.push_str("## Pipeline benchmark gates\n\n");
+        match read_json(bench_path) {
+            Ok(b) => {
+                let f = |k: &str| b.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                let hits = f("cache_hits");
+                let misses = f("cache_misses");
+                let denom = hits + misses;
+                let mut t = TableWriter::new(vec!["metric", "value"]);
+                t.row(vec!["config".into(), {
+                    b.get("config")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string()
+                }]);
+                t.row(vec![
+                    "cache hit rate".into(),
+                    if denom > 0.0 {
+                        format!("{:.1}%", 100.0 * hits / denom)
+                    } else {
+                        "n/a".into()
+                    },
+                ]);
+                t.row(vec![
+                    "pack reduction".into(),
+                    format!("{:.2}x", f("pack_reduction")),
+                ]);
+                t.row(vec![
+                    "bytes reduction".into(),
+                    format!("{:.2}x", f("bytes_reduction")),
+                ]);
+                let (me, mp) = (f("modeled_eager_s"), f("modeled_pipelined_s"));
+                if mp > 0.0 {
+                    t.row(vec!["modeled speedup".into(), format!("{:.2}x", me / mp)]);
+                }
+                md.push_str("```text\n");
+                md.push_str(&t.render());
+                md.push_str("```\n\n");
+            }
+            Err(e) => md.push_str(&format!("Could not read `{bench_path}`: {e}\n\n")),
+        }
+    }
+
+    match std::fs::write(out, &md) {
+        Ok(()) => {
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_ns_interpolates() {
+        let sorted = [0, 100];
+        assert_eq!(quantile_ns(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_ns(&sorted, 0.5), 50.0);
+        assert_eq!(quantile_ns(&sorted, 1.0), 100.0);
+        assert_eq!(quantile_ns(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn fold_events_extracts_sections() {
+        let log = concat!(
+            "{\"type\":\"run_config\",\"simd_tier\":\"avx2\"}\n",
+            "{\"type\":\"step\",\"loss\":1.0}\n",
+            "{\"type\":\"span\",\"name\":\"gemm\",\"id\":1,\"dur_ns\":500}\n",
+            "{\"type\":\"span\",\"name\":\"bwd:x\",\"id\":0,\"dur_ns\":9,\"count\":3}\n",
+            "{\"type\":\"epoch\",\"epoch\":0,\"mean_loss\":0.5}\n",
+            "{\"type\":\"layer_health\",\"epoch\":0,\"param\":\"w\",\
+             \"weight_l2\":1.5,\"grad_l2\":0.25}\n",
+            "{\"type\":\"layer_quant\",\"epoch\":0,\"label\":\"layer:0:fc\",\
+             \"total\":10,\"exact\":4,\"saturated\":1,\"flushed\":0,\
+             \"sr_up\":2,\"sr_down\":3}\n",
+            "not json at all\n",
+        );
+        let data = fold_events(log);
+        assert_eq!(data.simd_tier.as_deref(), Some("avx2"));
+        assert_eq!(data.steps, 1);
+        assert_eq!(data.span_ns["gemm"], vec![500]);
+        // Extern spans (sum-over-count) must not pollute percentiles.
+        assert!(!data.span_ns.contains_key("bwd:x"));
+        assert_eq!(data.epochs, vec![(0, 0.5)]);
+        assert_eq!(data.health.len(), 1);
+        assert_eq!(data.quant["layer:0:fc"][&0]["total"], 10);
+    }
+}

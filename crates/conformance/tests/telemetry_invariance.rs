@@ -8,7 +8,11 @@
 //! checked-in golden file, and (b) the run actually emitted the
 //! events the acceptance criteria call for: per-layer GEMM spans,
 //! nonzero SR rounding counters for the FP8×FP12-SR pipeline,
-//! loss-scale events, and a perf-model calibration record.
+//! loss-scale events, latency histograms with ordered percentiles, a
+//! valid Chrome trace, and a perf-model calibration record. The
+//! digest comparison runs with *everything* armed — counters,
+//! histograms, and tracing — so the whole observability stack is
+//! covered by the bit-identical guarantee at once.
 //!
 //! Everything lives in one `#[test]` because the telemetry enable
 //! flag and event buffer are process-global.
@@ -28,10 +32,14 @@ fn telemetry_on_is_bit_identical_and_emits_required_events() {
     let off = replay_lenet(2);
     assert!(off.report.telemetry.is_none());
 
-    // Instrumented run, same recipe.
+    // Instrumented run, same recipe — with the full observability
+    // stack armed: counters, histograms (implicit in spans), and the
+    // Chrome-trace capture layer.
     mpt_telemetry::enable();
+    mpt_telemetry::trace::enable_tracing();
     let on = replay_lenet(2);
     mpt_telemetry::disable();
+    mpt_telemetry::trace::disable_tracing();
 
     assert_eq!(
         on.digest, off.digest,
@@ -113,6 +121,51 @@ fn telemetry_on_is_bit_identical_and_emits_required_events() {
     assert!(typed("loss_scale") > 0, "no loss_scale events");
     assert!(typed("step") > 0, "no step events");
     assert!(typed("epoch") > 0, "no epoch events");
+
+    // Latency histograms: every span name doubles as a histogram, and
+    // the trainer records its own step histogram. Percentiles must be
+    // ordered and bounded by the observed maximum.
+    let step = snap
+        .hist
+        .iter()
+        .find(|h| h.name == "trainer:step")
+        .unwrap_or_else(|| {
+            panic!(
+                "no trainer:step histogram in {:?}",
+                snap.hist.iter().map(|h| &h.name).collect::<Vec<_>>()
+            )
+        });
+    assert!(step.count > 0, "trainer:step histogram is empty");
+    assert!(
+        step.p50_ns <= step.p90_ns && step.p90_ns <= step.p99_ns,
+        "percentiles out of order: {step:?}"
+    );
+    assert!(step.p99_ns <= step.max_ns as f64, "p99 above max: {step:?}");
+    assert!(
+        snap.hist
+            .iter()
+            .any(|h| h.name == "gemm:cpu" && h.count > 0),
+        "gemm spans did not feed a histogram"
+    );
+
+    // Chrome trace: events were captured, the snapshot is sorted by
+    // timestamp, and the rendered JSON parses with ≥1 complete event.
+    let trace_events = mpt_telemetry::trace::snapshot();
+    assert!(!trace_events.is_empty(), "tracing captured no events");
+    assert!(
+        trace_events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+        "trace snapshot not time-sorted"
+    );
+    let rendered = mpt_telemetry::trace::render(&trace_events);
+    let doc = json::parse(&rendered).expect("trace JSON parses");
+    let Some(Value::Array(tev)) = doc.get("traceEvents") else {
+        panic!("no traceEvents array in rendered trace")
+    };
+    assert!(
+        tev.iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("X")),
+        "no complete events in rendered trace"
+    );
 
     // Perf-model calibration: run the offline matcher over this
     // model's GEMM workload and audit predicted vs measured L_total.

@@ -249,6 +249,7 @@ pub fn train_cnn_resumable(
             batch_in_epoch += 1;
             processed += 1;
             if telemetry {
+                let dur_ns = step_start.elapsed().as_nanos() as u64;
                 mpt_telemetry::event(&[
                     mpt_telemetry::json::Field::Str("type", "step"),
                     mpt_telemetry::json::Field::U64("epoch", epoch as u64),
@@ -256,11 +257,9 @@ pub fn train_cnn_resumable(
                     mpt_telemetry::json::Field::F64("loss", loss_val as f64),
                     mpt_telemetry::json::Field::F64("scale", scaler.scale() as f64),
                     mpt_telemetry::json::Field::Bool("skipped", !stepped),
-                    mpt_telemetry::json::Field::U64(
-                        "dur_ns",
-                        step_start.elapsed().as_nanos() as u64,
-                    ),
+                    mpt_telemetry::json::Field::U64("dur_ns", dur_ns),
                 ]);
+                mpt_telemetry::histogram("trainer:step").record(dur_ns);
                 mpt_telemetry::counter("train.steps").incr();
                 if !stepped {
                     mpt_telemetry::counter("train.skipped_steps").incr();
@@ -318,6 +317,7 @@ pub fn train_cnn_resumable(
                     },
                 ),
             ]);
+            emit_layer_health(epoch as u64, &params);
         }
     }
     Ok(TrainReport {
@@ -326,6 +326,53 @@ pub fn train_cnn_resumable(
         overflows: scaler.overflow_count(),
         telemetry: telemetry.then(mpt_telemetry::Snapshot::capture),
     })
+}
+
+/// Emits per-layer numeric-health events at an epoch boundary: one
+/// `layer_health` event per parameter (weight and gradient L2 norms —
+/// the gradient is the last batch's, grads are zeroed per step) and
+/// one `layer_quant` event per `layer:<idx>:<kind>` quantizer group
+/// with the *cumulative* counts, so a report can difference
+/// consecutive epochs into per-epoch saturation / underflow / SR
+/// rates. Pure observation: reads weights and counters, mutates
+/// nothing.
+fn emit_layer_health(epoch: u64, params: &[mpt_nn::Parameter]) {
+    let l2 = |xs: &[f32]| -> f64 {
+        xs.iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
+    };
+    for p in params {
+        let weight_l2 = l2(p.value().data());
+        let grad_l2 = l2(p.grad().data());
+        mpt_telemetry::event(&[
+            mpt_telemetry::json::Field::Str("type", "layer_health"),
+            mpt_telemetry::json::Field::U64("epoch", epoch),
+            mpt_telemetry::json::Field::Str("param", p.name()),
+            mpt_telemetry::json::Field::F64("weight_l2", weight_l2),
+            mpt_telemetry::json::Field::F64("grad_l2", grad_l2),
+        ]);
+    }
+    for q in mpt_telemetry::quant_snapshots() {
+        if !q.label.starts_with("layer:") {
+            continue;
+        }
+        mpt_telemetry::event(&[
+            mpt_telemetry::json::Field::Str("type", "layer_quant"),
+            mpt_telemetry::json::Field::U64("epoch", epoch),
+            mpt_telemetry::json::Field::Str("label", &q.label),
+            mpt_telemetry::json::Field::U64("total", q.total),
+            mpt_telemetry::json::Field::U64("exact", q.exact),
+            mpt_telemetry::json::Field::U64("rounded", q.rounded),
+            mpt_telemetry::json::Field::U64("saturated", q.saturated),
+            mpt_telemetry::json::Field::U64("overflow_inf", q.overflow_inf),
+            mpt_telemetry::json::Field::U64("flushed", q.flushed),
+            mpt_telemetry::json::Field::U64("sr_up", q.sr_up),
+            mpt_telemetry::json::Field::U64("sr_down", q.sr_down),
+            mpt_telemetry::json::Field::U64("nan", q.nan),
+        ]);
+    }
 }
 
 /// Test-set accuracy (percent) of a CNN classifier.

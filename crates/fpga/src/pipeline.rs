@@ -52,6 +52,11 @@ pub const HOST_PACK_GBPS: f64 = 8.0;
 /// Number of pipeline stages: pack, transfer, compute, unpack.
 pub const STAGES: usize = 4;
 
+/// Stage names in pipeline order — used for trace tracks
+/// (`fpga-pipeline/<stage>`), busy counters
+/// (`fpga.pipeline.busy_us:<stage>`), and report tables.
+pub const STAGE_NAMES: [&str; STAGES] = ["pack", "transfer", "compute", "unpack"];
+
 /// Modeled seconds one launch spends in each pipeline stage,
 /// *including* any stage replays forced by injected faults.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -134,6 +139,13 @@ impl PipelineClock {
         self.finish
     }
 
+    /// Per-stage completion time of the most recent launch — the end
+    /// of each stage's window on the modeled timeline (stage start =
+    /// `stage_done[s] − t[s]` right after [`admit`](Self::admit)).
+    pub fn stage_done(&self) -> [f64; STAGES] {
+        self.stage_done
+    }
+
     /// Launches admitted since the last [`drain`](Self::drain).
     pub fn queued(&self) -> u64 {
         self.queued
@@ -173,6 +185,9 @@ pub struct PipelinedExecutor {
     drained_s: f64,
     /// Eager-equivalent seconds (Σ stage sums) since construction.
     eager_s: f64,
+    /// Modeled busy seconds per stage over the executor's lifetime
+    /// (Σ launch stage times, including fault replays).
+    stage_busy_s: [f64; STAGES],
 }
 
 impl PipelinedExecutor {
@@ -184,6 +199,7 @@ impl PipelinedExecutor {
             clock: PipelineClock::new(),
             drained_s: 0.0,
             eager_s: 0.0,
+            stage_busy_s: [0.0; STAGES],
         }
     }
 
@@ -213,6 +229,70 @@ impl PipelinedExecutor {
         self.eager_s
     }
 
+    /// Modeled busy seconds per stage (pack, transfer, compute,
+    /// unpack) over the executor's lifetime. Invariant:
+    /// `max(stage_busy_s) ≤ pipelined_elapsed_s ≤ Σ stage_busy_s` —
+    /// a stage can't be busy longer than the makespan, and the
+    /// makespan can't beat the sum of all work (= eager time).
+    pub fn stage_busy_s(&self) -> [f64; STAGES] {
+        self.stage_busy_s
+    }
+
+    /// Stage occupancy: busy time per stage ÷ overlapped wall time,
+    /// in `[0, 1]` per stage. All zeros before the first launch.
+    pub fn stage_utilization(&self) -> [f64; STAGES] {
+        let wall = self.pipelined_elapsed_s();
+        if wall <= 0.0 {
+            return [0.0; STAGES];
+        }
+        let mut util = self.stage_busy_s;
+        for u in &mut util {
+            *u /= wall;
+        }
+        util
+    }
+
+    /// Folds one admitted launch into the accounting: eager sum,
+    /// per-stage busy totals, pipeline clock, and — when armed — the
+    /// stage-utilization counters and the Chrome-trace stage tracks
+    /// (each stage's window on the modeled timeline, so Perfetto
+    /// shows the pack/transfer/compute/unpack overlap).
+    fn account_launch(&mut self, times: &StageTimes) {
+        self.eager_s += times.eager_s();
+        let stage_t = times.as_array();
+        for (busy, t) in self.stage_busy_s.iter_mut().zip(stage_t) {
+            *busy += t;
+        }
+        self.clock.admit(times);
+        if mpt_telemetry::enabled() {
+            for (name, t) in STAGE_NAMES.iter().zip(stage_t) {
+                mpt_telemetry::counter(&format!("fpga.pipeline.busy_us:{name}"))
+                    .add((t * 1e6) as u64);
+                if t > 0.0 {
+                    // Modeled stage latency distribution (ns).
+                    mpt_telemetry::histogram(&format!("fpga:stage:{name}"))
+                        .record((t * 1e9) as u64);
+                }
+            }
+        }
+        if mpt_telemetry::trace::tracing_enabled() {
+            let launch = self.clock.total_launches();
+            let done = self.clock.stage_done();
+            for ((name, t), end) in STAGE_NAMES.iter().zip(stage_t).zip(done) {
+                if t <= 0.0 {
+                    continue;
+                }
+                let end_s = self.drained_s + end;
+                mpt_telemetry::trace::record_complete(
+                    &format!("fpga-pipeline/{name}"),
+                    &format!("{name} #{launch}"),
+                    (end_s - t) * 1e6,
+                    t * 1e6,
+                );
+            }
+        }
+    }
+
     /// Flushes the launch queue at a step boundary: the clock drains
     /// into the accumulated total (the cache keeps its residents —
     /// weights survive across steps; updated ones re-key themselves).
@@ -228,6 +308,28 @@ impl PipelinedExecutor {
                 mpt_telemetry::json::Field::U64("launches", queued),
                 mpt_telemetry::json::Field::F64("makespan_s", makespan),
             ]);
+            // Derived occupancy so far: lifetime busy per stage over
+            // the overlapped wall time (report fodder; the raw busy
+            // totals also live in `fpga.pipeline.busy_us:*`).
+            let busy = self.stage_busy_s;
+            let util = self.stage_utilization();
+            let mut fields = vec![
+                mpt_telemetry::json::Field::Str("type", "stage_utilization"),
+                mpt_telemetry::json::Field::F64("pipelined_elapsed_s", self.pipelined_elapsed_s()),
+                mpt_telemetry::json::Field::F64("eager_elapsed_s", self.eager_s),
+            ];
+            let busy_keys = [
+                "busy_pack_s",
+                "busy_transfer_s",
+                "busy_compute_s",
+                "busy_unpack_s",
+            ];
+            let util_keys = ["util_pack", "util_transfer", "util_compute", "util_unpack"];
+            for s in 0..STAGES {
+                fields.push(mpt_telemetry::json::Field::F64(busy_keys[s], busy[s]));
+                fields.push(mpt_telemetry::json::Field::F64(util_keys[s], util[s]));
+            }
+            mpt_telemetry::event(&fields);
         }
         makespan
     }
@@ -238,6 +340,7 @@ impl PipelinedExecutor {
         self.clock.drain();
         self.drained_s = 0.0;
         self.eager_s = 0.0;
+        self.stage_busy_s = [0.0; STAGES];
     }
 
     /// One staged launch: cache-aware pack, modeled transfer, fabric
@@ -279,8 +382,7 @@ impl PipelinedExecutor {
         let _unpack_span = mpt_telemetry::span("fpga:unpack");
 
         let times = self.stage_times(a, b, cfg, packed_bytes, latency.core_s);
-        self.eager_s += times.eager_s();
-        self.clock.admit(&times);
+        self.account_launch(&times);
         Ok((out, times))
     }
 
@@ -361,8 +463,7 @@ impl PipelinedExecutor {
         // Charge the replayed stages their extra passes.
         times.transfer_s *= 1.0 + transfer_replays as f64;
         times.compute_s *= 1.0 + compute_replays as f64;
-        self.eager_s += times.eager_s();
-        self.clock.admit(&times);
+        self.account_launch(&times);
         Ok(Some((out, times)))
     }
 
@@ -394,8 +495,7 @@ impl PipelinedExecutor {
                 .timing_only(shape_of(a, b)?, cfg.quant_a.format().bit_width())
                 .core_s;
             let times = self.stage_times(a, b, cfg, packed_bytes, core_s);
-            self.eager_s += times.eager_s();
-            self.clock.admit(&times);
+            self.account_launch(&times);
 
             // Double buffering: at most one compute stage in flight.
             if in_flight > 0 {
@@ -591,6 +691,56 @@ mod tests {
             (px.pipelined_elapsed_s() - pipelined).abs() < 1e-15,
             "drained time is retained"
         );
+    }
+
+    #[test]
+    fn stage_busy_brackets_pipelined_elapsed() {
+        // The acceptance invariant for the utilization counters:
+        // max busy ≤ overlapped wall time ≤ Σ busy (= eager time).
+        let mut px = PipelinedExecutor::new(acc(), DEFAULT_CACHE_BUDGET);
+        let cfg = QGemmConfig::fp8_fp12_sr();
+        for i in 0..7 {
+            let (a, b) = operands(16 + i, 24, 12);
+            px.launch(&a, &b, &cfg).unwrap();
+        }
+        px.flush();
+        let busy = px.stage_busy_s();
+        let wall = px.pipelined_elapsed_s();
+        let max_busy = busy.into_iter().fold(0.0, f64::max);
+        let sum_busy: f64 = busy.iter().sum();
+        assert!(max_busy > 0.0);
+        assert!(max_busy <= wall + 1e-12, "max {max_busy} vs wall {wall}");
+        assert!(wall <= sum_busy + 1e-12, "wall {wall} vs sum {sum_busy}");
+        assert!((sum_busy - px.eager_elapsed_s()).abs() < 1e-9);
+        for u in px.stage_utilization() {
+            assert!((0.0..=1.0 + 1e-12).contains(&u), "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn traced_launches_emit_all_four_stage_tracks() {
+        mpt_telemetry::enable();
+        mpt_telemetry::trace::enable_tracing();
+        let mut px = PipelinedExecutor::new(acc(), DEFAULT_CACHE_BUDGET);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(11);
+        for i in 0..3 {
+            let (a, b) = operands(10 + i, 20, 8);
+            px.launch(&a, &b, &cfg).unwrap();
+        }
+        px.flush();
+        mpt_telemetry::trace::disable_tracing();
+        mpt_telemetry::disable();
+        let events = mpt_telemetry::trace::snapshot();
+        for stage in STAGE_NAMES {
+            let track = format!("fpga-pipeline/{stage}");
+            let on_track: Vec<_> = events.iter().filter(|e| e.track == track).collect();
+            assert!(!on_track.is_empty(), "missing stage track {track}");
+            // Stage windows sit on the modeled timeline: positive
+            // duration, start ≥ 0.
+            for e in &on_track {
+                assert!(e.dur_us > 0.0 && e.ts_us >= -1e-9, "bad window {e:?}");
+            }
+        }
     }
 
     #[test]

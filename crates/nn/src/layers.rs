@@ -406,14 +406,19 @@ impl Layer for Sequential {
         if mpt_telemetry::enabled() {
             // Span each child forward and stamp its scope onto the
             // nodes it records, so backward time can be attributed to
-            // the same `<idx>:<kind>` label by Graph::backward.
+            // the same `<idx>:<kind>` label by Graph::backward. The
+            // telemetry layer scope mirrors it so quantizer tallies
+            // flushed by this layer's GEMMs (on any pool thread) land
+            // under `layer:<idx>:<kind>` too.
             let out = self.layers.iter().enumerate().fold(input, |x, (i, l)| {
                 let scope = format!("{i}:{}", l.kind());
                 let _span = mpt_telemetry::span(format!("fwd:{scope}"));
                 g.set_scope(Some(&scope));
+                mpt_telemetry::set_layer_scope(Some(&scope));
                 l.forward(g, x)
             });
             g.set_scope(None);
+            mpt_telemetry::set_layer_scope(None);
             return out;
         }
         self.layers.iter().fold(input, |x, l| l.forward(g, x))

@@ -207,6 +207,12 @@ impl Graph {
                 } else {
                     None
                 };
+                if timing {
+                    // Attribute quantizer flushes inside this closure
+                    // (GEMM pool threads included) to the layer that
+                    // recorded the node.
+                    mpt_telemetry::set_layer_scope(node.scope.as_deref());
+                }
                 let parent_grads = backward(&args);
                 if let (Some(t0), Some(scope)) = (started, &node.scope) {
                     let entry = per_scope.entry(Rc::clone(scope)).or_insert((0, 0));
@@ -226,6 +232,9 @@ impl Graph {
                 }
             }
             grads[i] = Some(g); // keep for inspection via Graph::grad
+        }
+        if timing {
+            mpt_telemetry::set_layer_scope(None);
         }
         for (scope, (count, ns)) in per_scope {
             mpt_telemetry::record_extern(&format!("bwd:{scope}"), ns, count);

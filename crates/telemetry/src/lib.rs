@@ -16,7 +16,11 @@
 //!
 //! Everything funnels into an in-memory event buffer plus an
 //! optional JSONL file (`MPT_TELEMETRY_JSONL`), and is summarized by
-//! [`Snapshot`] / [`Snapshot::render_table`].
+//! [`Snapshot`] / [`Snapshot::render_table`]. Two profiling layers
+//! sit on top: every span name doubles as a log-scale latency
+//! [`Histogram`] (p50/p90/p99/max), and span/stage records can be
+//! exported as a Chrome-trace timeline (`MPT_TELEMETRY_TRACE`, see
+//! [`trace`]).
 //!
 //! # Cost model
 //!
@@ -50,17 +54,21 @@
 #![warn(missing_docs)]
 
 mod counter;
+mod histogram;
 pub mod json;
 mod registry;
 pub mod sink;
 mod span;
 mod summary;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use counter::{Counter, SHARDS};
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{
-    calibration_records, counter, quant_counters, record_calibration, CalibrationRecord,
+    calibration_records, counter, counter_snapshots, histogram, histogram_snapshots, layer_scope,
+    quant_counters, quant_snapshots, record_calibration, set_layer_scope, CalibrationRecord,
     QuantCounters, QuantSnapshot, QuantTally,
 };
 pub use span::{record_extern, span, span_snapshots, SpanField, SpanGuard, SpanSnapshot};
@@ -91,7 +99,9 @@ pub fn disable() {
 ///
 /// * `MPT_TELEMETRY=1` (or `true`/`on`) enables collection;
 /// * `MPT_TELEMETRY_JSONL=<path>` additionally routes events to a
-///   JSONL file (implies enable).
+///   JSONL file (implies enable);
+/// * `MPT_TELEMETRY_TRACE=<path>` arms Chrome-trace capture and sets
+///   the [`trace::finalize`] destination (implies enable).
 ///
 /// Returns whether telemetry ended up enabled.
 pub fn init_from_env() -> bool {
@@ -100,6 +110,12 @@ pub fn init_from_env() -> bool {
             if let Err(e) = sink::set_jsonl_path(&path) {
                 eprintln!("telemetry: cannot open {path}: {e}");
             }
+            enable();
+        }
+    }
+    if let Ok(path) = std::env::var("MPT_TELEMETRY_TRACE") {
+        if !path.is_empty() {
+            trace::set_trace_path(&path);
             enable();
         }
     }
@@ -123,13 +139,14 @@ pub fn event(fields: &[json::Field<'_>]) {
     sink::emit_line(json::object(fields));
 }
 
-/// Zeroes every counter, span aggregate, calibration record, and the
-/// event buffer, and detaches the JSONL file. The enabled flag is
-/// left as-is.
+/// Zeroes every counter, histogram, span aggregate, calibration
+/// record, the event buffer, and the captured trace, and detaches
+/// the JSONL file and trace path. The enabled flag is left as-is.
 pub fn reset() {
     registry::reset();
     span::reset();
     sink::reset();
+    trace::reset();
 }
 
 #[cfg(test)]

@@ -6,9 +6,10 @@
 //! go straight to the sharded [`Counter`]s.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::counter::Counter;
+use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::json::{self, Field};
 
 /// The counter group every quantizer label owns.
@@ -171,11 +172,24 @@ impl QuantTally {
 
     /// Adds the tally to the global counters registered under
     /// `label` and clears it.
+    ///
+    /// When a layer scope is active (see [`set_layer_scope`]), the
+    /// same counts are **additionally** flushed into the
+    /// `layer:<scope>` counter group, so saturation / overflow /
+    /// underflow / SR-direction rates are attributable per layer
+    /// without changing any numeric result.
     pub fn flush(&mut self, label: &str) {
         if self.total == 0 {
             return;
         }
-        let c = quant_counters(label);
+        self.add_into(quant_counters(label));
+        if let Some(scope) = layer_scope() {
+            self.add_into(quant_counters(&format!("layer:{scope}")));
+        }
+        *self = QuantTally::new(self.threshold, self.sr);
+    }
+
+    fn add_into(&self, c: &QuantCounters) {
         c.total.add(self.total);
         c.exact.add(self.exact);
         c.rounded.add(self.rounded);
@@ -186,7 +200,6 @@ impl QuantTally {
         c.sr_up.add(self.sr_up);
         c.sr_down.add(self.sr_down);
         c.nan.add(self.nan);
-        *self = QuantTally::new(self.threshold, self.sr);
     }
 }
 
@@ -220,7 +233,13 @@ pub struct QuantSnapshot {
 struct Registry {
     quant: RwLock<HashMap<String, &'static QuantCounters>>,
     counters: RwLock<HashMap<String, &'static Counter>>,
+    histograms: RwLock<HashMap<String, &'static Histogram>>,
     calibration: Mutex<Vec<CalibrationRecord>>,
+    /// The currently attributed layer (`<idx>:<kind>`). Process-wide
+    /// rather than thread-local on purpose: GEMM pool workers flush
+    /// tallies on threads the layer driver never touches, and only
+    /// one layer's GEMMs are in flight at a time.
+    layer_scope: RwLock<Option<Arc<str>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -228,8 +247,24 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         quant: RwLock::new(HashMap::new()),
         counters: RwLock::new(HashMap::new()),
+        histograms: RwLock::new(HashMap::new()),
         calibration: Mutex::new(Vec::new()),
+        layer_scope: RwLock::new(None),
     })
+}
+
+/// Sets (or clears, with `None`) the layer attribution scope:
+/// while a scope `<idx>:<kind>` is active, every [`QuantTally`]
+/// flush is mirrored into the `layer:<idx>:<kind>` counter group.
+/// Set by the layer driver around each forward / backward region;
+/// callers must clear it when the region ends.
+pub fn set_layer_scope(scope: Option<&str>) {
+    *registry().layer_scope.write().unwrap() = scope.map(Arc::from);
+}
+
+/// The active layer attribution scope, if any.
+pub fn layer_scope() -> Option<Arc<str>> {
+    registry().layer_scope.read().unwrap().clone()
 }
 
 /// The counter group for quantizer `label`, created on first use.
@@ -253,6 +288,32 @@ pub fn counter(name: &str) -> &'static Counter {
     let mut map = reg.counters.write().unwrap();
     map.entry(name.to_string())
         .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// A named latency histogram, created on first use. Like counters,
+/// the handle is `'static` so recording after lookup is lock-free.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let reg = registry();
+    if let Some(h) = reg.histograms.read().unwrap().get(name) {
+        return h;
+    }
+    let mut map = reg.histograms.write().unwrap();
+    map.entry(name.to_string())
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// Snapshots every histogram with at least one observation, sorted
+/// by name.
+pub fn histogram_snapshots() -> Vec<HistogramSnapshot> {
+    let reg = registry();
+    let map = reg.histograms.read().unwrap();
+    let mut out: Vec<HistogramSnapshot> = map
+        .iter()
+        .map(|(name, h)| HistogramSnapshot::capture(name, h))
+        .filter(|s| s.count > 0)
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
 }
 
 /// One predicted-vs-measured latency observation from the perf
@@ -342,8 +403,9 @@ pub fn counter_snapshots() -> Vec<(String, u64)> {
     out
 }
 
-/// Zeroes all counters and drops calibration records. Leaked handles
-/// stay valid; only their values reset.
+/// Zeroes all counters and histograms, drops calibration records,
+/// and clears the layer scope. Leaked handles stay valid; only their
+/// values reset.
 pub fn reset() {
     let reg = registry();
     for c in reg.quant.read().unwrap().values() {
@@ -352,7 +414,11 @@ pub fn reset() {
     for c in reg.counters.read().unwrap().values() {
         c.reset();
     }
+    for h in reg.histograms.read().unwrap().values() {
+        h.reset();
+    }
     reg.calibration.lock().unwrap().clear();
+    *reg.layer_scope.write().unwrap() = None;
 }
 
 #[cfg(test)]
@@ -400,6 +466,41 @@ mod tests {
         t.record(3.0, 3.0);
         t.flush(label);
         assert_eq!(c.total.get(), 3);
+    }
+
+    #[test]
+    fn layer_scope_mirrors_flush() {
+        let label = "test-layer-scope-quant";
+        set_layer_scope(Some("9:conv2d-test"));
+        let mut t = QuantTally::new(f64::INFINITY, false);
+        t.record(1.0, 1.0);
+        t.record(2.0, 2.5);
+        t.flush(label);
+        set_layer_scope(None);
+        assert!(layer_scope().is_none());
+        let direct = quant_counters(label);
+        let layered = quant_counters("layer:9:conv2d-test");
+        assert_eq!(direct.total.get(), 2);
+        // `>=`: sibling tests flushing concurrently while our scope
+        // was set may legitimately mirror into the same layer group.
+        assert!(layered.total.get() >= 2);
+        assert!(layered.rounded.get() >= 1);
+    }
+
+    #[test]
+    fn histogram_registry_roundtrip() {
+        let h = histogram("test-registry-histogram");
+        h.record(1_000);
+        h.record(3_000);
+        let snaps = histogram_snapshots();
+        let s = snaps
+            .iter()
+            .find(|s| s.name == "test-registry-histogram")
+            .expect("registered histogram must snapshot");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum_ns, 4_000);
+        assert_eq!(s.max_ns, 3_000);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
     }
 
     #[test]

@@ -139,6 +139,11 @@ impl Drop for SpanGuard {
         }
         crate::sink::emit_line(json::object(&fields));
         aggregate(&s.name, dur_ns, s.bytes);
+        // Every span name doubles as a latency histogram, so
+        // percentile estimates come for free for GEMMs, layer
+        // forwards, and pipeline stages.
+        crate::registry::histogram(&s.name).record(dur_ns);
+        crate::trace::record_span(&s.name, s.start, dur_ns);
     }
 }
 
@@ -168,7 +173,9 @@ fn aggregate(name: &str, dur_ns: u64, bytes: u64) {
 
 /// Folds an externally measured duration into the aggregates (used
 /// for per-scope backward timing, where closures are timed manually
-/// rather than via guards). Also emits a span event with id 0.
+/// rather than via guards). Also emits a span event with id 0. No
+/// histogram is recorded: `dur_ns` is a *sum* over `count` closures,
+/// and recording it as one observation would distort percentiles.
 pub fn record_extern(name: &str, dur_ns: u64, count: u64) {
     let line = json::object(&[
         Field::Str("type", "span"),

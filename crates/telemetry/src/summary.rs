@@ -2,8 +2,10 @@
 
 use std::fmt::Write as _;
 
+use crate::histogram::HistogramSnapshot;
 use crate::registry::{
-    calibration_records, counter_snapshots, quant_snapshots, CalibrationRecord, QuantSnapshot,
+    calibration_records, counter_snapshots, histogram_snapshots, quant_snapshots,
+    CalibrationRecord, QuantSnapshot,
 };
 use crate::span::{span_snapshots, SpanSnapshot};
 
@@ -17,10 +19,19 @@ pub struct Snapshot {
     pub spans: Vec<SpanSnapshot>,
     /// Free-standing named counters (nonzero only).
     pub counters: Vec<(String, u64)>,
+    /// Latency histogram percentiles (nonempty histograms only).
+    pub hist: Vec<HistogramSnapshot>,
     /// Perf-model predicted-vs-measured records.
     pub calibration: Vec<CalibrationRecord>,
     /// Events dropped past the in-memory buffer cap.
     pub dropped_events: u64,
+}
+
+/// The label column width: the longest key, never truncated (keys
+/// like `layer:5:conv2d` or `fpga.pipeline.busy_us:transfer` must
+/// stay readable), floored at the header width.
+fn label_width<'a>(header: &str, labels: impl Iterator<Item = &'a str>) -> usize {
+    labels.map(str::len).fold(header.len(), usize::max)
 }
 
 impl Snapshot {
@@ -30,6 +41,7 @@ impl Snapshot {
             quant: quant_snapshots(),
             spans: span_snapshots(),
             counters: counter_snapshots(),
+            hist: histogram_snapshots(),
             calibration: calibration_records(),
             dropped_events: crate::sink::dropped_events(),
         }
@@ -38,6 +50,11 @@ impl Snapshot {
     /// The quantizer group whose label equals `label`, if present.
     pub fn quant_for(&self, label: &str) -> Option<&QuantSnapshot> {
         self.quant.iter().find(|q| q.label == label)
+    }
+
+    /// The histogram snapshot whose name equals `name`, if present.
+    pub fn hist_for(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hist.iter().find(|h| h.name == name)
     }
 
     /// Mean absolute relative error of the perf-model calibration
@@ -50,16 +67,19 @@ impl Snapshot {
         Some(sum / self.calibration.len() as f64)
     }
 
-    /// Renders the summary table printed at end of run.
+    /// Renders the summary table printed at end of run. Every label
+    /// column is sized to its longest key, so nothing is truncated
+    /// or misaligned regardless of how long counter names get.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "=== telemetry summary ===");
 
         if !self.quant.is_empty() {
+            let w = label_width("quantizer", self.quant.iter().map(|q| q.label.as_str()));
             let _ = writeln!(out, "\n-- quantizer numerics --");
             let _ = writeln!(
                 out,
-                "{:<24} {:>12} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9}",
+                "{:<w$} {:>12} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9}",
                 "quantizer", "total", "exact%", "round%", "sat", "inf", "flush", "sr_up", "sr_down"
             );
             for q in &self.quant {
@@ -72,7 +92,7 @@ impl Snapshot {
                 };
                 let _ = writeln!(
                     out,
-                    "{:<24} {:>12} {:>8.2}% {:>8.2}% {:>7} {:>7} {:>7} {:>9} {:>9}",
+                    "{:<w$} {:>12} {:>8.2}% {:>8.2}% {:>7} {:>7} {:>7} {:>9} {:>9}",
                     q.label,
                     q.total,
                     pct(q.exact),
@@ -87,10 +107,11 @@ impl Snapshot {
         }
 
         if !self.spans.is_empty() {
+            let w = label_width("span", self.spans.iter().map(|s| s.name.as_str()));
             let _ = writeln!(out, "\n-- spans --");
             let _ = writeln!(
                 out,
-                "{:<28} {:>8} {:>12} {:>12} {:>12}",
+                "{:<w$} {:>8} {:>12} {:>12} {:>12}",
                 "span", "count", "total_ms", "mean_us", "MB"
             );
             for s in &self.spans {
@@ -102,7 +123,7 @@ impl Snapshot {
                 };
                 let _ = writeln!(
                     out,
-                    "{:<28} {:>8} {:>12.3} {:>12.2} {:>12.3}",
+                    "{:<w$} {:>8} {:>12.3} {:>12.2} {:>12.3}",
                     s.name,
                     s.count,
                     total_ms,
@@ -112,24 +133,52 @@ impl Snapshot {
             }
         }
 
+        if !self.hist.is_empty() {
+            let w = label_width("histogram", self.hist.iter().map(|h| h.name.as_str()));
+            let _ = writeln!(out, "\n-- latency histograms --");
+            let _ = writeln!(
+                out,
+                "{:<w$} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "p50_us", "p90_us", "p99_us", "max_us"
+            );
+            for h in &self.hist {
+                let _ = writeln!(
+                    out,
+                    "{:<w$} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+                    h.name,
+                    h.count,
+                    h.p50_ns / 1e3,
+                    h.p90_ns / 1e3,
+                    h.p99_ns / 1e3,
+                    h.max_ns as f64 / 1e3,
+                );
+            }
+        }
+
         if !self.counters.is_empty() {
+            let w = label_width("counter", self.counters.iter().map(|(n, _)| n.as_str()));
             let _ = writeln!(out, "\n-- counters --");
             for (name, v) in &self.counters {
-                let _ = writeln!(out, "{name:<40} {v:>12}");
+                let _ = writeln!(out, "{name:<w$} {v:>12}");
             }
         }
 
         if !self.calibration.is_empty() {
+            let w = label_width("label", self.calibration.iter().map(|r| r.label.as_str()));
+            let cw = label_width(
+                "context",
+                self.calibration.iter().map(|r| r.context.as_str()),
+            );
             let _ = writeln!(out, "\n-- perf-model calibration --");
             let _ = writeln!(
                 out,
-                "{:<20} {:<24} {:>13} {:>13} {:>9}",
+                "{:<cw$} {:<w$} {:>13} {:>13} {:>9}",
                 "context", "label", "predicted_s", "measured_s", "rel_err"
             );
             for r in &self.calibration {
                 let _ = writeln!(
                     out,
-                    "{:<20} {:<24} {:>13.6e} {:>13.6e} {:>+8.1}%",
+                    "{:<cw$} {:<w$} {:>13.6e} {:>13.6e} {:>+8.1}%",
                     r.context,
                     r.label,
                     r.predicted_s,
@@ -155,5 +204,55 @@ impl Snapshot {
             );
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_counter_names_align_instead_of_truncating() {
+        let snap = Snapshot {
+            counters: vec![
+                ("short".into(), 1),
+                (
+                    "a.very.long.counter.name.that.used.to.overflow.the.fixed.column".into(),
+                    2,
+                ),
+            ],
+            ..Snapshot::default()
+        };
+        let table = snap.render_table();
+        let lines: Vec<&str> = table
+            .lines()
+            .filter(|l| l.contains("short") || l.contains("a.very.long"))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        // Both value columns end at the same character position.
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert!(lines[0].contains("short"));
+        assert!(table.contains("a.very.long.counter.name.that.used.to.overflow.the.fixed.column"));
+    }
+
+    #[test]
+    fn histogram_section_renders_percentiles() {
+        let snap = Snapshot {
+            hist: vec![HistogramSnapshot {
+                name: "gemm:cpu".into(),
+                count: 10,
+                sum_ns: 1_000_000,
+                max_ns: 200_000,
+                p50_ns: 90_000.0,
+                p90_ns: 150_000.0,
+                p99_ns: 190_000.0,
+            }],
+            ..Snapshot::default()
+        };
+        let table = snap.render_table();
+        assert!(table.contains("-- latency histograms --"));
+        assert!(table.contains("gemm:cpu"));
+        assert!(table.contains("p50_us"));
+        assert!(table.contains("p99_us"));
     }
 }

@@ -1,0 +1,110 @@
+//! Chrome-trace capture: deterministic ordering and a valid export.
+//!
+//! Spans close in whatever order the scheduler runs threads, so the
+//! raw capture order is non-deterministic; [`trace::snapshot`] must
+//! hand back records sorted by (start, track, seq) so trace files
+//! and report tables are stable across runs.
+
+use mpt_telemetry::{json, trace};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// One combined test: capture spans from several threads plus
+/// virtual stage events, then validate ordering and the written
+/// file. (Combined because the trace buffer is process-global.)
+#[test]
+fn multithreaded_capture_is_sorted_and_exports_valid_json() {
+    mpt_telemetry::enable();
+    trace::enable_tracing();
+
+    const THREADS: usize = 4;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for i in 0..8u64 {
+                    let mut g = mpt_telemetry::span(format!("work:{t}"));
+                    g.add_bytes(64 * i);
+                    std::hint::black_box(i * t as u64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Virtual stage events on modeled-time tracks, like the
+    // pipelined executor emits.
+    for (i, stage) in ["pack", "transfer", "compute", "unpack"].iter().enumerate() {
+        trace::record_complete(
+            &format!("fpga-pipeline/{stage}"),
+            &format!("{stage} #0"),
+            i as f64 * 10.0,
+            10.0,
+        );
+    }
+    mpt_telemetry::disable();
+    trace::disable_tracing();
+
+    let events = trace::snapshot();
+    assert!(events.len() >= THREADS * 8 + 4, "n={}", events.len());
+
+    // Satellite invariant: snapshot order is (start, track, seq) —
+    // stable across runs regardless of thread completion order.
+    for w in events.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let ordered = a.ts_us < b.ts_us
+            || (a.ts_us == b.ts_us
+                && (a.track < b.track || (a.track == b.track && a.seq <= b.seq)));
+        assert!(ordered, "unsorted: {a:?} then {b:?}");
+    }
+
+    // Two snapshots of the same buffer render byte-identically.
+    assert_eq!(
+        trace::render(&events),
+        trace::render(&trace::snapshot()),
+        "render must be deterministic"
+    );
+
+    // The written file is valid trace-event JSON with one named
+    // track per worker thread and per pipeline stage.
+    let path = std::env::temp_dir().join(format!("mpt_trace_test_{}.json", std::process::id()));
+    let written = trace::write_to(&path).expect("trace write");
+    assert_eq!(written, events.len());
+    let doc = std::fs::read_to_string(&path).unwrap();
+    let v = json::parse(&doc).expect("trace file must parse");
+    let arr = match v.get("traceEvents").expect("traceEvents key") {
+        json::Value::Array(a) => a,
+        other => panic!("traceEvents not an array: {other:?}"),
+    };
+    assert!(!arr.is_empty());
+    let track_names: Vec<&str> = arr
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    let stage_tracks = track_names
+        .iter()
+        .filter(|t| t.starts_with("fpga-pipeline/"))
+        .count();
+    assert_eq!(stage_tracks, 4, "tracks: {track_names:?}");
+    let complete = arr
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count();
+    assert_eq!(complete, events.len());
+    std::fs::remove_file(&path).ok();
+
+    // With tracing disarmed (but telemetry on), spans must not reach
+    // the trace buffer. Same test fn: the arm flags are process-
+    // global, so a sibling test would race on them.
+    mpt_telemetry::enable();
+    drop(mpt_telemetry::span("untraced-span-xyzzy"));
+    mpt_telemetry::disable();
+    assert!(!trace::snapshot()
+        .iter()
+        .any(|e| e.name == "untraced-span-xyzzy"));
+}

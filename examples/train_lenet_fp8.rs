@@ -13,19 +13,25 @@
 //!   `lenet_fp8.ckpt`);
 //! * `--checkpoint <path>` — override the checkpoint base path;
 //! * `--resume` — resume each config's run from its checkpoint
-//!   (bit-identical to never having stopped).
+//!   (bit-identical to never having stopped);
+//! * `--backend cpu|fpga|fpga-pipelined` — where quantized GEMMs
+//!   execute (bit-identical everywhere; only timing accounting and
+//!   telemetry differ).
 //!
 //! Set `MPT_TELEMETRY=1` (or point `MPT_TELEMETRY_JSONL` at a file)
 //! to watch the run: per-quantizer saturation/rounding counters,
 //! per-layer forward/backward time, per-GEMM spans, loss-scale
 //! events, and a perf-model calibration record for the accelerator
-//! the offline matcher would pick for this workload.
+//! the offline matcher would pick for this workload. Point
+//! `MPT_TELEMETRY_TRACE` at a path to additionally capture a
+//! Chrome-trace timeline (with per-stage FPGA pipeline tracks under
+//! `--backend fpga-pipelined`).
 
-use mpt_arith::{CpuBackend, GemmShape};
+use mpt_arith::{CpuBackend, GemmBackend, GemmShape};
 use mpt_core::select_accelerator;
 use mpt_core::trainer::{evaluate_cnn, train_cnn_resumable, TrainConfig, TrainOptions};
 use mpt_data::synthetic_mnist;
-use mpt_fpga::SynthesisDb;
+use mpt_fpga::{Accelerator, FpgaBackend, SaConfig, SynthesisDb};
 use mpt_models::lenet5;
 use mpt_nn::{GemmPrecision, Sgd};
 use std::rc::Rc;
@@ -34,6 +40,7 @@ struct Args {
     checkpoint_every: Option<usize>,
     checkpoint_path: String,
     resume: bool,
+    backend: String,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +48,7 @@ fn parse_args() -> Args {
         checkpoint_every: None,
         checkpoint_path: "lenet_fp8.ckpt".to_string(),
         resume: false,
+        backend: "cpu".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -56,17 +64,40 @@ fn parse_args() -> Args {
                 args.checkpoint_path = it.next().expect("--checkpoint takes a path");
             }
             "--resume" => args.resume = true,
+            "--backend" => {
+                args.backend = it.next().expect("--backend takes cpu|fpga|fpga-pipelined");
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}\n\
                      usage: train_lenet_fp8 [--checkpoint-every <N>] \
-                     [--checkpoint <path>] [--resume]"
+                     [--checkpoint <path>] [--resume] \
+                     [--backend cpu|fpga|fpga-pipelined]"
                 );
                 std::process::exit(2);
             }
         }
     }
     args
+}
+
+/// Builds the GEMM backend named on the command line. The FPGA
+/// variants simulate the `<8,8,4>` systolic array at 298 MHz — the
+/// config the pipeline benchmark gates on.
+fn make_backend(name: &str) -> Rc<dyn GemmBackend> {
+    let fpga = || {
+        let cfg = SaConfig::new(8, 8, 4).expect("<8,8,4> is synthesizable");
+        FpgaBackend::new(Accelerator::new(cfg, 298.0))
+    };
+    match name {
+        "cpu" => Rc::new(CpuBackend::new()),
+        "fpga" => Rc::new(fpga()),
+        "fpga-pipelined" => Rc::new(fpga().pipelined()),
+        other => {
+            eprintln!("unknown backend {other}: use cpu, fpga, or fpga-pipelined");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -108,7 +139,7 @@ fn main() {
                 loss_scale: 256.0,
                 seed: 0,
             },
-            Rc::new(CpuBackend::new()),
+            make_backend(&args.backend),
             &opts,
         ) {
             Ok(report) => report,
@@ -148,6 +179,9 @@ fn main() {
         mpt_telemetry::sink::flush();
         if let Some(path) = mpt_telemetry::sink::jsonl_path() {
             println!("event log: {}", path.display());
+        }
+        if let Some(path) = mpt_telemetry::trace::finalize() {
+            println!("chrome trace: {} (open in Perfetto)", path.display());
         }
     }
 }

@@ -3,6 +3,11 @@
 # EXPERIMENTS.md's "Measured outputs" section. The slow accuracy
 # experiments (table2/fig6) are read from files if present
 # ($TABLE2_LOG / $FIG6_LOG), otherwise rerun at quick scale.
+#
+# Afterwards: checks the freshly measured BENCH_pipeline.json gate
+# fields against the committed copy (fails on regression), runs an
+# instrumented pipelined LeNet training pass, and renders RESULTS.md
+# from its event log via mpt-report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,3 +46,25 @@ head = text.split(marker)[0]
 open(path, 'w').write(head + marker + '\n\n' + payload)
 EOF
 echo "EXPERIMENTS.md updated"
+
+# Gate check: the loop above reran pipeline_throughput, which rewrote
+# BENCH_pipeline.json. Fail if any gate field regressed against the
+# committed copy.
+committed=$(mktemp)
+if git show HEAD:BENCH_pipeline.json > "$committed" 2>/dev/null; then
+  ./target/release/mpt-report --check-gates "$committed" BENCH_pipeline.json
+else
+  echo "no committed BENCH_pipeline.json; skipping gate check"
+fi
+rm -f "$committed"
+
+# Profiling report: instrumented pipelined LeNet run -> RESULTS.md.
+MPT_TELEMETRY_JSONL=/tmp/mpt_report_run.jsonl \
+MPT_TELEMETRY_TRACE=/tmp/mpt_report_run.trace.json \
+  ./target/release/examples/train_lenet_fp8 --backend fpga-pipelined > /dev/null
+./target/release/mpt-report --validate-trace /tmp/mpt_report_run.trace.json \
+  --require-stage-tracks 4
+./target/release/mpt-report --jsonl /tmp/mpt_report_run.jsonl \
+  --trace /tmp/mpt_report_run.trace.json \
+  --bench BENCH_pipeline.json --out RESULTS.md
+echo "RESULTS.md updated"
