@@ -3,10 +3,16 @@
 //!
 //! ```text
 //! mpt-report --jsonl run.jsonl [--trace run.trace.json] \
-//!            [--bench BENCH_pipeline.json] [--out RESULTS.md]
+//!            [--bench BENCH_pipeline.json] [--serving BENCH_serving.json] \
+//!            [--out RESULTS.md]
 //! mpt-report --validate-trace run.trace.json [--require-stage-tracks 4]
 //! mpt-report --check-gates BENCH_pipeline.json.committed BENCH_pipeline.json
 //! ```
+//!
+//! Optional inputs degrade gracefully: a `--trace` or `--bench` /
+//! `--serving` path that does not exist (or does not parse) renders a
+//! "section skipped" note instead of failing the run, so serving-only
+//! runs still produce a RESULTS.md.
 //!
 //! The report generator is pure post-processing: it parses the event
 //! stream with the telemetry crate's own zero-dependency JSON parser
@@ -26,7 +32,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mpt-report --jsonl <events.jsonl> [--trace <trace.json>] \
-         [--bench <BENCH_pipeline.json>] [--out <RESULTS.md>]\n  \
+         [--bench <BENCH_pipeline.json>] [--serving <BENCH_serving.json>] \
+         [--out <RESULTS.md>]\n  \
          mpt-report --validate-trace <trace.json> [--require-stage-tracks <N>]\n  \
          mpt-report --check-gates <committed.json> <measured.json> [--tolerance <frac>]"
     );
@@ -40,6 +47,7 @@ fn main() -> ExitCode {
     let mut jsonl = None;
     let mut trace = None;
     let mut bench = None;
+    let mut serving = None;
     let mut out = "RESULTS.md".to_string();
     let mut validate = None;
     let mut require_tracks = 0usize;
@@ -60,6 +68,7 @@ fn main() -> ExitCode {
             "--jsonl" => jsonl = Some(val("--jsonl")),
             "--trace" => trace = Some(val("--trace")),
             "--bench" => bench = Some(val("--bench")),
+            "--serving" => serving = Some(val("--serving")),
             "--out" => out = val("--out"),
             "--validate-trace" => validate = Some(val("--validate-trace")),
             "--require-stage-tracks" => {
@@ -90,7 +99,13 @@ fn main() -> ExitCode {
         return check_gates(&committed, &measured, tolerance);
     }
     let Some(jsonl) = jsonl else { usage() };
-    generate_report(&jsonl, trace.as_deref(), bench.as_deref(), &out)
+    generate_report(
+        &jsonl,
+        trace.as_deref(),
+        bench.as_deref(),
+        serving.as_deref(),
+        &out,
+    )
 }
 
 fn read_json(path: &str) -> Result<Value, String> {
@@ -144,12 +159,22 @@ fn validate_trace(path: &str, require_tracks: usize) -> ExitCode {
 
 // ---------------------------------------------------------------- gates
 
-/// `BENCH_pipeline.json` fields gating CI, with the direction that
-/// counts as a regression (`true` = higher is better).
-const GATE_FIELDS: [(&str, bool); 3] = [
+/// `BENCH_*.json` fields gating CI, with the direction that counts as
+/// a regression (`true` = higher is better). One list serves both
+/// `BENCH_pipeline.json` and `BENCH_serving.json`: a field absent
+/// from the committed file is simply not a gate for that file.
+const GATE_FIELDS: [(&str, bool); 8] = [
     ("pack_reduction", true),
     ("bytes_reduction", true),
     ("cache_hits", true),
+    // Serving gates: throughput must not collapse, chaos must keep
+    // exercising the breaker, and corruption must stay at zero
+    // (committed 0 with lower-is-better pins measured to 0).
+    ("serve_completed", true),
+    ("serve_corrupted", false),
+    ("breaker_trips", true),
+    ("breaker_recoveries", true),
+    ("queue_high_water", false),
 ];
 
 fn check_gates(committed: &str, measured: &str, tolerance: f64) -> ExitCode {
@@ -333,7 +358,13 @@ fn us(ns: f64) -> String {
     format!("{:.1}", ns / 1e3)
 }
 
-fn generate_report(jsonl: &str, trace: Option<&str>, bench: Option<&str>, out: &str) -> ExitCode {
+fn generate_report(
+    jsonl: &str,
+    trace: Option<&str>,
+    bench: Option<&str>,
+    serving: Option<&str>,
+    out: &str,
+) -> ExitCode {
     let text = match std::fs::read_to_string(jsonl) {
         Ok(t) => t,
         Err(e) => {
@@ -358,7 +389,13 @@ fn generate_report(jsonl: &str, trace: Option<&str>, bench: Option<&str>, out: &
         data.loss_scale_events
     ));
     if let Some(t) = trace {
-        md.push_str(&format!("- Chrome trace: `{t}` (open in Perfetto)\n"));
+        if std::path::Path::new(t).exists() {
+            md.push_str(&format!("- Chrome trace: `{t}` (open in Perfetto)\n"));
+        } else {
+            md.push_str(&format!(
+                "- Chrome trace: section skipped (`{t}` not found)\n"
+            ));
+        }
     }
     if !data.epochs.is_empty() {
         md.push('\n');
@@ -544,7 +581,79 @@ fn generate_report(jsonl: &str, trace: Option<&str>, bench: Option<&str>, out: &
                 md.push_str(&t.render());
                 md.push_str("```\n\n");
             }
-            Err(e) => md.push_str(&format!("Could not read `{bench_path}`: {e}\n\n")),
+            Err(e) => md.push_str(&format!(
+                "Section skipped: could not read `{bench_path}` ({e}). \
+                 Serving-only runs produce no pipeline gate file.\n\n"
+            )),
+        }
+    }
+
+    // -- serving benchmark gates ----------------------------------
+    if let Some(serving_path) = serving {
+        md.push_str("## Serving benchmark gates\n\n");
+        match read_json(serving_path) {
+            Ok(s) => {
+                let f = |k: &str| s.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                let mut t = TableWriter::new(vec!["metric", "value"]);
+                t.row(vec![
+                    "clients x requests".into(),
+                    format!("{} x {}", f("clients"), f("requests_per_client")),
+                ]);
+                t.row(vec![
+                    "completed".into(),
+                    format!("{}", f("serve_completed")),
+                ]);
+                t.row(vec![
+                    "rejected (admission)".into(),
+                    format!("{}", f("serve_rejected")),
+                ]);
+                t.row(vec![
+                    "degraded to CPU".into(),
+                    format!("{}", f("serve_degraded")),
+                ]);
+                t.row(vec![
+                    "deadline exceeded".into(),
+                    format!("{}", f("serve_deadline_exceeded")),
+                ]);
+                t.row(vec![
+                    "coalesced".into(),
+                    format!("{}", f("serve_coalesced")),
+                ]);
+                t.row(vec![
+                    "corrupted responses".into(),
+                    format!("{}", f("serve_corrupted")),
+                ]);
+                t.row(vec![
+                    "breaker trips / recoveries".into(),
+                    format!("{} / {}", f("breaker_trips"), f("breaker_recoveries")),
+                ]);
+                t.row(vec![
+                    "queue high-water".into(),
+                    format!("{}", f("queue_high_water")),
+                ]);
+                t.row(vec![
+                    "training p50/p99 us".into(),
+                    format!("{:.1} / {:.1}", f("training_p50_us"), f("training_p99_us")),
+                ]);
+                t.row(vec![
+                    "inference p50/p99 us".into(),
+                    format!(
+                        "{:.1} / {:.1}",
+                        f("inference_p50_us"),
+                        f("inference_p99_us")
+                    ),
+                ]);
+                t.row(vec![
+                    "throughput req/s".into(),
+                    format!("{:.0}", f("throughput_rps")),
+                ]);
+                md.push_str("```text\n");
+                md.push_str(&t.render());
+                md.push_str("```\n\n");
+            }
+            Err(e) => md.push_str(&format!(
+                "Section skipped: could not read `{serving_path}` ({e}).\n\n"
+            )),
         }
     }
 
@@ -597,5 +706,77 @@ mod tests {
         assert_eq!(data.epochs, vec![(0, 0.5)]);
         assert_eq!(data.health.len(), 1);
         assert_eq!(data.quant["layer:0:fc"][&0]["total"], 10);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpt_report_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn exit_ok(code: ExitCode) -> bool {
+        format!("{code:?}") == format!("{:?}", ExitCode::SUCCESS)
+    }
+
+    #[test]
+    fn report_skips_missing_trace_bench_and_serving_sections() {
+        let dir = scratch_dir("skip");
+        let jsonl = dir.join("events.jsonl");
+        std::fs::write(&jsonl, "{\"type\":\"step\",\"loss\":1.0}\n").unwrap();
+        let out = dir.join("RESULTS.md");
+        let trace = dir.join("missing.trace.json");
+        let bench = dir.join("missing_pipeline.json");
+        let serving = dir.join("missing_serving.json");
+        let code = generate_report(
+            jsonl.to_str().unwrap(),
+            Some(trace.to_str().unwrap()),
+            Some(bench.to_str().unwrap()),
+            Some(serving.to_str().unwrap()),
+            out.to_str().unwrap(),
+        );
+        assert!(exit_ok(code), "missing optional inputs must not fail");
+        let md = std::fs::read_to_string(&out).unwrap();
+        assert!(md.contains("Chrome trace: section skipped"));
+        assert_eq!(md.matches("Section skipped: could not read").count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serving_gates_pin_zero_corruption_and_breaker_activity() {
+        let dir = scratch_dir("gates");
+        let committed = dir.join("committed.json");
+        let ok = dir.join("ok.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(
+            &committed,
+            "{\"serve_completed\": 100, \"serve_corrupted\": 0, \
+             \"breaker_trips\": 1, \"breaker_recoveries\": 1}",
+        )
+        .unwrap();
+        // Throughput within tolerance, still zero corruption: passes.
+        std::fs::write(
+            &ok,
+            "{\"serve_completed\": 95, \"serve_corrupted\": 0, \
+             \"breaker_trips\": 2, \"breaker_recoveries\": 1}",
+        )
+        .unwrap();
+        assert!(exit_ok(check_gates(
+            committed.to_str().unwrap(),
+            ok.to_str().unwrap(),
+            0.10,
+        )));
+        // One corrupted response: committed 0 pins measured to 0.
+        std::fs::write(
+            &bad,
+            "{\"serve_completed\": 100, \"serve_corrupted\": 1, \
+             \"breaker_trips\": 1, \"breaker_recoveries\": 1}",
+        )
+        .unwrap();
+        assert!(!exit_ok(check_gates(
+            committed.to_str().unwrap(),
+            bad.to_str().unwrap(),
+            0.10,
+        )));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

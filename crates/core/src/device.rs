@@ -11,7 +11,7 @@
 //! emulation path (latency then reported as `None`), so a training
 //! run survives transient device faults with unchanged weights.
 
-use mpt_arith::{default_threads, qgemm_parallel, QGemmConfig};
+use mpt_arith::{default_threads, qgemm_parallel, GemmBackend, QGemmConfig};
 use mpt_faults::{FaultPlan, Injector, RetryPolicy};
 use mpt_fpga::{
     emit_fallback_event, resilient_execute, Accelerator, CacheStats, MeasuredLatency,
@@ -25,13 +25,29 @@ use std::rc::Rc;
 // Devices are constructed once per run, never per-GEMM, so the size
 // asymmetry against the payload-free `Cpu` variant costs nothing.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum Device {
     /// Bit-accurate software emulation on the host CPU.
     Cpu,
     /// The simulated FPGA accelerator (with optional fault-tolerant
     /// execution).
     Fpga(FpgaDevice),
+    /// An arbitrary [`GemmBackend`] — the hook that lets the trainer
+    /// run *through* an external execution service (e.g. the
+    /// `mpt-serving` front-end's client handle) without the core
+    /// crate depending on it. The backend must stay bit-identical to
+    /// the CPU path; `step_boundary` is forwarded each batch.
+    Custom(Rc<dyn GemmBackend>),
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Device::Cpu => f.write_str("Cpu"),
+            Device::Fpga(dev) => f.debug_tuple("Fpga").field(dev).finish(),
+            Device::Custom(b) => f.debug_tuple("Custom").field(&b.label()).finish(),
+        }
+    }
 }
 
 /// FPGA execution state: the accelerator plus the recovery policy.
@@ -249,15 +265,24 @@ impl Device {
     ) -> Result<Self, mpt_fpga::ConfigError> {
         match Self::fpga(n, m, c, db)? {
             Device::Fpga(dev) => Ok(Device::Fpga(dev.pipelined())),
-            Device::Cpu => unreachable!("fpga constructor returns an FPGA device"),
+            _ => unreachable!("fpga constructor returns an FPGA device"),
         }
     }
 
+    /// Wraps an arbitrary backend as a device — see
+    /// [`Device::Custom`].
+    pub fn custom(backend: Rc<dyn GemmBackend>) -> Self {
+        Device::Custom(backend)
+    }
+
     /// Marks a training-step boundary: a pipelined FPGA device drains
-    /// its launch queue here; every other device is a no-op.
+    /// its launch queue here, a custom backend gets the boundary
+    /// forwarded; the CPU device is a no-op.
     pub fn step_boundary(&self) {
-        if let Device::Fpga(dev) = self {
-            dev.step_boundary();
+        match self {
+            Device::Cpu => {}
+            Device::Fpga(dev) => dev.step_boundary(),
+            Device::Custom(b) => b.step_boundary(),
         }
     }
 
@@ -280,7 +305,7 @@ impl Device {
             Device::Fpga(dev) => Ok(Device::Fpga(
                 dev.with_fault_plan(plan).with_retry_policy(retry),
             )),
-            Device::Cpu => unreachable!("fpga constructor returns an FPGA device"),
+            _ => unreachable!("fpga constructor returns an FPGA device"),
         }
     }
 
@@ -309,6 +334,7 @@ impl Device {
         match self {
             Device::Cpu => Ok((qgemm_parallel(a, b, cfg, default_threads())?, None)),
             Device::Fpga(dev) => dev.execute(a, b, cfg),
+            Device::Custom(backend) => Ok((backend.gemm(a, b, cfg)?, None)),
         }
     }
 }
@@ -433,7 +459,7 @@ mod tests {
                 d.with_fault_plan(plan)
                     .with_retry_policy(RetryPolicy::no_delay(3)),
             ),
-            Device::Cpu => unreachable!(),
+            _ => unreachable!(),
         };
         let a = Tensor::from_fn(vec![6, 10], |i| ((i * 13 % 17) as f32 - 8.0) * 0.09);
         let b = Tensor::from_fn(vec![10, 3], |i| ((i * 11 % 13) as f32 - 6.0) * 0.08);
@@ -451,6 +477,48 @@ mod tests {
         assert_eq!(fdev.fallback_count(), 0);
         // Stage replays never re-pack: the cold packs stand alone.
         assert_eq!(fdev.cache_stats().unwrap().packs, 2);
+    }
+
+    #[test]
+    fn custom_backend_routes_gemms_and_step_boundaries() {
+        struct Recording {
+            calls: Cell<u64>,
+            boundaries: Cell<u64>,
+        }
+        impl GemmBackend for Recording {
+            fn gemm(
+                &self,
+                a: &Tensor,
+                b: &Tensor,
+                cfg: &QGemmConfig,
+            ) -> Result<Tensor, ShapeError> {
+                self.calls.set(self.calls.get() + 1);
+                qgemm_parallel(a, b, cfg, default_threads())
+            }
+            fn label(&self) -> String {
+                "recording".into()
+            }
+            fn step_boundary(&self) {
+                self.boundaries.set(self.boundaries.get() + 1);
+            }
+        }
+        let backend = Rc::new(Recording {
+            calls: Cell::new(0),
+            boundaries: Cell::new(0),
+        });
+        let dev = Device::custom(backend.clone());
+        assert!(!dev.is_fpga());
+        assert!(format!("{dev:?}").contains("recording"));
+        let a = Tensor::from_fn(vec![5, 8], |i| ((i * 7 % 11) as f32 - 5.0) * 0.1);
+        let b = Tensor::from_fn(vec![8, 4], |i| ((i * 5 % 7) as f32 - 3.0) * 0.1);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(4);
+        let (want, _) = Device::Cpu.execute_gemm(&a, &b, &cfg).unwrap();
+        let (got, lat) = dev.execute_gemm(&a, &b, &cfg).unwrap();
+        assert_eq!(got, want);
+        assert!(lat.is_none());
+        dev.step_boundary();
+        assert_eq!(backend.calls.get(), 1);
+        assert_eq!(backend.boundaries.get(), 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub struct Injector {
     plan: FaultPlan,
     launches: Cell<u64>,
     injected: Cell<u64>,
-    per_site: [Cell<u64>; 4],
+    per_site: [Cell<u64>; FaultSite::ALL.len()],
 }
 
 impl Injector {
@@ -25,7 +25,7 @@ impl Injector {
             plan,
             launches: Cell::new(0),
             injected: Cell::new(0),
-            per_site: [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
+            per_site: std::array::from_fn(|_| Cell::new(0)),
         }
     }
 

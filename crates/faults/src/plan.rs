@@ -21,15 +21,25 @@ pub enum FaultSite {
     HbmCorruption,
     /// Loading the pre-generated bitstream onto the device failed.
     BitstreamLoad,
+    /// The serving front-end's admission queue saturated — requests
+    /// are shed with an explicit retry-after instead of buffered
+    /// without bound. Injected to simulate load spikes.
+    QueueOverload,
+    /// A request's deadline elapsed before (or while) it was served —
+    /// the service cancels cooperatively and tells the client to
+    /// retry. Injected to simulate slow clients / long queues.
+    DeadlineExceeded,
 }
 
 impl FaultSite {
     /// All sites, in a stable order (used by plans and summaries).
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::LaunchTimeout,
         FaultSite::LaunchTransient,
         FaultSite::HbmCorruption,
         FaultSite::BitstreamLoad,
+        FaultSite::QueueOverload,
+        FaultSite::DeadlineExceeded,
     ];
 
     /// Stable short name (telemetry field / counter suffix).
@@ -39,15 +49,19 @@ impl FaultSite {
             FaultSite::LaunchTransient => "launch_transient",
             FaultSite::HbmCorruption => "hbm_corruption",
             FaultSite::BitstreamLoad => "bitstream_load",
+            FaultSite::QueueOverload => "queue_overload",
+            FaultSite::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             FaultSite::LaunchTimeout => 0,
             FaultSite::LaunchTransient => 1,
             FaultSite::HbmCorruption => 2,
             FaultSite::BitstreamLoad => 3,
+            FaultSite::QueueOverload => 4,
+            FaultSite::DeadlineExceeded => 5,
         }
     }
 }
@@ -94,7 +108,7 @@ pub enum Trigger {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
-    triggers: [Trigger; 4],
+    triggers: [Trigger; FaultSite::ALL.len()],
 }
 
 impl FaultPlan {
@@ -102,7 +116,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
-            triggers: [Trigger::Never; 4],
+            triggers: [Trigger::Never; FaultSite::ALL.len()],
         }
     }
 

@@ -526,6 +526,113 @@ impl PipelinedExecutor {
             .collect())
     }
 
+    /// [`execute_batch`](Self::execute_batch) under fault injection:
+    /// the batched entry point the serving front-end's coalescer
+    /// drives. Each item runs the same per-stage gate sequence as
+    /// [`launch_resilient`](Self::launch_resilient) on the submitting
+    /// thread, then its compute stage goes to the worker pool with
+    /// the usual depth-1 double buffering. An item whose retry budget
+    /// is exhausted comes back as `None` — the caller degrades that
+    /// item (and only that item) to the bit-identical CPU path —
+    /// while the rest of the batch proceeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ShapeError`] among the batch items (never
+    /// retried).
+    pub fn execute_batch_resilient(
+        &mut self,
+        inj: &Injector,
+        retry: &RetryPolicy,
+        items: &[(&Tensor, &Tensor, QGemmConfig)],
+    ) -> Result<Vec<Option<Tensor>>, ShapeError> {
+        for (a, b, _) in items {
+            check_shapes(a, b)?;
+        }
+        let mut results: Vec<Option<Tensor>> = (0..items.len()).map(|_| None).collect();
+        let (tx, rx) = mpsc::channel::<(usize, Tensor)>();
+        let mut in_flight = 0usize;
+        for (i, (a, b, cfg)) in items.iter().enumerate() {
+            let launch_id = inj.next_launch();
+
+            if !retry_stage(inj, retry, FaultSite::BitstreamLoad, launch_id, |f| {
+                crate::resilient::emit_fault_event(&f, "fpga-batch");
+            }) {
+                continue; // results[i] stays None: degrade this item.
+            }
+
+            let fa = self.cache.get_or_pack(a, &cfg.quant_a)?;
+            let fb = self.cache.get_or_pack(b, &cfg.quant_b)?;
+            let packed_bytes = missed_bytes(&fa) + missed_bytes(&fb);
+
+            let mut transfer_replays = 0u32;
+            let image = self.cache.image_of(a, &cfg.quant_a);
+            let transfer_ok = retry_stage(inj, retry, FaultSite::HbmCorruption, launch_id, |f| {
+                if let Some(img) = image {
+                    let mut in_flight_img = img.clone();
+                    let (byte, mask) = inj.corruption(in_flight_img.byte_size(), launch_id);
+                    in_flight_img.corrupt_byte(byte, mask);
+                    assert!(
+                        in_flight_img.unpack().is_err(),
+                        "CRC-32 must catch a corrupted transfer byte"
+                    );
+                }
+                crate::resilient::emit_fault_event(&f, "fpga-batch");
+                transfer_replays += 1;
+            });
+            if !transfer_ok {
+                continue;
+            }
+
+            let mut compute_replays = 0u32;
+            let mut compute_ok = true;
+            for site in [FaultSite::LaunchTimeout, FaultSite::LaunchTransient] {
+                if !retry_stage(inj, retry, site, launch_id, |f| {
+                    crate::resilient::emit_fault_event(&f, "fpga-batch");
+                    compute_replays += 1;
+                }) {
+                    compute_ok = false;
+                    break;
+                }
+            }
+            if !compute_ok {
+                continue;
+            }
+
+            let core_s = self
+                .accelerator
+                .timing_only(shape_of(a, b)?, cfg.quant_a.format().bit_width())
+                .core_s;
+            let mut times = self.stage_times(a, b, cfg, packed_bytes, core_s);
+            times.transfer_s *= 1.0 + transfer_replays as f64;
+            times.compute_s *= 1.0 + compute_replays as f64;
+            self.account_launch(&times);
+
+            if in_flight > 0 {
+                let (j, out) = rx.recv().expect("pipelined compute worker panicked");
+                results[j] = Some(out);
+                in_flight -= 1;
+            }
+            let acc = self.accelerator.clone();
+            let (aq, bq, cfg, tx) = (fa.quantized, fb.quantized, *cfg, tx.clone());
+            pool_execute(move || {
+                let out = acc
+                    .execute_quantized(&aq, &bq, &cfg)
+                    .expect("shapes checked before submit")
+                    .0;
+                let _ = tx.send((i, out));
+            });
+            in_flight += 1;
+        }
+        drop(tx);
+        while in_flight > 0 {
+            let (j, out) = rx.recv().expect("pipelined compute worker panicked");
+            results[j] = Some(out);
+            in_flight -= 1;
+        }
+        Ok(results)
+    }
+
     /// Models the four stage durations of one launch. `packed_bytes`
     /// is what the pack stage actually produced (zero on full cache
     /// hits — resident images are already device-side, so the
@@ -557,7 +664,10 @@ impl PipelinedExecutor {
 }
 
 /// Runs one fault site's retry loop for a stage. Returns `false` when
-/// the budget is exhausted (`on_fault` has run once per fault).
+/// the budget is exhausted (`on_fault` has run once per fault). The
+/// backoff uses the policy's jittered schedule on the launch id's
+/// stream — exact backoff when jitter is unarmed, decorrelated sleeps
+/// across concurrent launches when it is.
 fn retry_stage(
     inj: &Injector,
     retry: &RetryPolicy,
@@ -570,7 +680,7 @@ fn retry_stage(
             None => return true,
             Some(fault) => {
                 on_fault(fault);
-                retry.sleep(attempt);
+                retry.sleep_jittered(attempt, launch);
             }
         }
     }
@@ -755,6 +865,49 @@ mod tests {
             assert_eq!(*out, qgemm(a, b, &cfg).unwrap());
         }
         assert_eq!(px.clock().total_launches(), 5);
+    }
+
+    #[test]
+    fn execute_batch_resilient_matches_eager_and_degrades_per_item() {
+        use mpt_faults::{FaultPlan, Trigger};
+        // Launch 3 of 5 is sticky-faulted: only that item degrades.
+        let inj = Injector::new(
+            FaultPlan::new(2).with(FaultSite::LaunchTransient, Trigger::StickyAtLaunch(3)),
+        );
+        let retry = RetryPolicy::no_delay(3);
+        let mut px = PipelinedExecutor::new(acc(), DEFAULT_CACHE_BUDGET);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(5);
+        let pairs: Vec<(Tensor, Tensor)> = (0..5).map(|i| operands(8 + i, 16 + i, 6 + i)).collect();
+        let items: Vec<(&Tensor, &Tensor, QGemmConfig)> =
+            pairs.iter().map(|(a, b)| (a, b, cfg)).collect();
+        let got = px.execute_batch_resilient(&inj, &retry, &items).unwrap();
+        assert_eq!(got.len(), 5);
+        for (i, ((a, b), out)) in pairs.iter().zip(&got).enumerate() {
+            match out {
+                Some(t) => assert_eq!(*t, qgemm(a, b, &cfg).unwrap(), "item {i}"),
+                None => assert_eq!(i, 2, "only the sticky launch degrades"),
+            }
+        }
+        assert_eq!(got.iter().filter(|o| o.is_none()).count(), 1);
+        assert_eq!(inj.injected_at(FaultSite::LaunchTransient), 3);
+    }
+
+    #[test]
+    fn execute_batch_resilient_fault_free_is_bit_identical() {
+        let inj = Injector::new(mpt_faults::FaultPlan::new(0));
+        let retry = RetryPolicy::no_delay(3);
+        let mut px = PipelinedExecutor::new(acc(), DEFAULT_CACHE_BUDGET);
+        let cfg = QGemmConfig::fp8_fp12_sr().with_seed(9);
+        let pairs: Vec<(Tensor, Tensor)> = (0..4).map(|_| operands(10, 20, 8)).collect();
+        let items: Vec<(&Tensor, &Tensor, QGemmConfig)> =
+            pairs.iter().map(|(a, b)| (a, b, cfg)).collect();
+        let got = px.execute_batch_resilient(&inj, &retry, &items).unwrap();
+        let want = qgemm(&pairs[0].0, &pairs[0].1, &cfg).unwrap();
+        for out in &got {
+            assert_eq!(*out.as_ref().unwrap(), want);
+        }
+        // Identical operands: the cache packs once, hits after.
+        assert!(px.cache_stats().hits >= 6);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! A [`GemmBackend`] adapter: the trainer as one more client.
+//!
+//! Wrapping a [`ServeHandle`](crate::ServeHandle) in a
+//! [`ServingBackend`] and handing it to `Device::custom` routes every
+//! trainer GEMM through the serving queue — admission control,
+//! coalescing against concurrent inference traffic, breaker and all —
+//! while the training result stays bit-identical to the direct
+//! pipelined backend (the conformance suite pins the golden digest
+//! through this path).
+
+use crate::request::{RequestClass, ServeResult};
+use crate::service::ServeHandle;
+use mpt_arith::{GemmBackend, QGemmConfig};
+use mpt_tensor::{ShapeError, Tensor};
+
+/// Blocks on the serving queue for each GEMM; training class, no
+/// deadline (the trainer retries through backpressure until served).
+#[derive(Debug, Clone)]
+pub struct ServingBackend {
+    handle: ServeHandle,
+    /// Jitter stream decorrelating this client's backoff from other
+    /// clients retrying at the same instant.
+    stream: u64,
+}
+
+impl ServingBackend {
+    /// Wraps a service handle as client `stream` (any stable id).
+    pub fn new(handle: ServeHandle, stream: u64) -> Self {
+        ServingBackend { handle, stream }
+    }
+
+    /// The wrapped handle.
+    pub fn handle(&self) -> &ServeHandle {
+        &self.handle
+    }
+}
+
+impl GemmBackend for ServingBackend {
+    fn gemm(&self, a: &Tensor, b: &Tensor, cfg: &QGemmConfig) -> Result<Tensor, ShapeError> {
+        match self
+            .handle
+            .call(a, b, cfg, RequestClass::Training, None, self.stream)?
+        {
+            ServeResult::Done { out, .. } => Ok(out),
+            // `call` retries rejections and training requests carry
+            // no deadline, so these arms are unreachable; absorb them
+            // defensively via the CPU path rather than panicking.
+            ServeResult::Rejected { .. } | ServeResult::DeadlineExceeded => {
+                mpt_arith::qgemm_parallel(a, b, cfg, mpt_arith::default_threads())
+            }
+            ServeResult::Failed(e) => Err(e),
+        }
+    }
+
+    fn label(&self) -> String {
+        "serving".into()
+    }
+
+    fn step_boundary(&self) {
+        self.handle.flush();
+    }
+}

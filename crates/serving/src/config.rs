@@ -1,0 +1,80 @@
+//! Service tuning knobs and their `MPT_SERVE_*` environment bindings.
+
+use mpt_faults::RetryPolicy;
+
+/// Admission, coalescing, and breaker parameters for a
+/// [`GemmService`](crate::GemmService).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bound on the admission queue; a submit past it is rejected
+    /// with an explicit retry-after (`MPT_SERVE_QUEUE_CAP`).
+    pub queue_cap: usize,
+    /// Most requests drained (and thus coalesced) per dispatcher
+    /// round (`MPT_SERVE_BATCH_MAX`).
+    pub batch_max: usize,
+    /// Consecutive FPGA retry-budget exhaustions that trip the
+    /// circuit breaker (`MPT_SERVE_BREAKER_THRESHOLD`).
+    pub breaker_threshold: u32,
+    /// Requests served on the CPU bypass while open before the
+    /// half-open probe (`MPT_SERVE_BREAKER_COOLDOWN`).
+    pub breaker_cooldown: u32,
+    /// Per-stage retry policy used by the resilient launch path.
+    pub retry: RetryPolicy,
+}
+
+impl ServeConfig {
+    /// Starts from defaults and applies any `MPT_SERVE_*` overrides
+    /// present in the environment. Unparsable values are ignored.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = env_usize("MPT_SERVE_QUEUE_CAP") {
+            cfg.queue_cap = v.max(1);
+        }
+        if let Some(v) = env_usize("MPT_SERVE_BATCH_MAX") {
+            cfg.batch_max = v.max(1);
+        }
+        if let Some(v) = env_usize("MPT_SERVE_BREAKER_THRESHOLD") {
+            cfg.breaker_threshold = v as u32;
+        }
+        if let Some(v) = env_usize("MPT_SERVE_BREAKER_COOLDOWN") {
+            cfg.breaker_cooldown = v as u32;
+        }
+        cfg
+    }
+}
+
+impl Default for ServeConfig {
+    /// Sized for the simulated accelerator: a queue a few batches
+    /// deep, coalescing bounded at 16 (the staged queue's natural
+    /// granularity), a breaker that trips fast (2 consecutive
+    /// exhaustions) and probes after 8 bypassed requests. The retry
+    /// policy is the zero-delay one — chaos tests drive thousands of
+    /// launches and must not sleep.
+    fn default() -> Self {
+        ServeConfig {
+            queue_cap: 64,
+            batch_max: 16,
+            breaker_threshold: 2,
+            breaker_cooldown: 8,
+            retry: RetryPolicy::no_delay(3),
+        }
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.queue_cap >= c.batch_max);
+        assert!(c.breaker_threshold >= 1);
+        assert!(c.breaker_cooldown >= 1);
+        assert_eq!(c.retry.max_attempts, 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Chaos-hardened serving front-end for the FPGA backend.
+//!
+//! The paper's training loop drives the accelerator one GEMM at a
+//! time; a production deployment fronts it with a service that takes
+//! concurrent traffic. This crate is that front-end, built so
+//! throughput degrades *gracefully* — never correctness — when
+//! faults, overload, and slow clients hit at once:
+//!
+//! * **Bounded admission queue** — a submit past `queue_cap` is
+//!   answered immediately with [`ServeResult::Rejected`] and a
+//!   retry-after hint (queue depth × service-time EWMA) instead of
+//!   buffering without bound.
+//! * **Per-request deadlines** — the dispatcher cancels
+//!   cooperatively before launching anything whose deadline passed
+//!   ([`ServeResult::DeadlineExceeded`]); training traffic carries no
+//!   deadline and always completes.
+//! * **Circuit breaker** — consecutive FPGA retry-budget exhaustions
+//!   trip it ([`BreakerState::Open`]) and traffic routes to the
+//!   bit-identical `qgemm_parallel` CPU fallback; after a cooldown
+//!   (counted in bypassed requests, so chaos replays exactly) a
+//!   half-open probe tests recovery. Every transition is logged and
+//!   emitted as a `breaker_state` telemetry event.
+//! * **Dynamic coalescing** — same-shape / same-quantizer requests
+//!   drained in one round run as a single batched launch through
+//!   [`PipelinedExecutor::execute_batch_resilient`][ebr]; the group
+//!   key is exactly what the operand cache fingerprints.
+//!
+//! Degradation is a latency statement, never a correctness one:
+//! every path (FPGA, retried FPGA, CPU fallback) produces the same
+//! bits, so a response is either correct or explicitly shed — the
+//! conformance suite pins golden LeNet training *through this
+//! service* against the single-device digest while inference clients
+//! inject concurrent chaos traffic.
+//!
+//! Knobs come from [`ServeConfig`] / `MPT_SERVE_*` environment
+//! variables; the `serve_chaos` bench bin drives N clients against
+//! an armed fault plan and emits `BENCH_serving.json`.
+//!
+//! [ebr]: mpt_fpga::PipelinedExecutor::execute_batch_resilient
+//!
+//! # Example
+//!
+//! ```
+//! use mpt_serving::{GemmService, RequestClass, ServeConfig, ServeResult};
+//! use mpt_fpga::{Accelerator, PipelinedExecutor, SaConfig, DEFAULT_CACHE_BUDGET};
+//! use mpt_arith::{qgemm, QGemmConfig};
+//! use mpt_tensor::Tensor;
+//!
+//! let acc = Accelerator::new(SaConfig::new(4, 4, 2).unwrap(), 300.0);
+//! let service = GemmService::start(
+//!     ServeConfig::default(),
+//!     PipelinedExecutor::new(acc, DEFAULT_CACHE_BUDGET),
+//!     None,
+//! );
+//! let h = service.handle();
+//! let a = Tensor::from_fn(vec![4, 6], |i| i as f32 * 0.1);
+//! let b = Tensor::from_fn(vec![6, 3], |i| i as f32 * 0.2);
+//! let cfg = QGemmConfig::fp8_fp12_sr();
+//! let rx = h.submit(a.clone(), b.clone(), cfg, RequestClass::Inference, None);
+//! match rx.recv().unwrap() {
+//!     ServeResult::Done { out, degraded } => {
+//!         assert_eq!(out, qgemm(&a, &b, &cfg).unwrap());
+//!         assert!(!degraded);
+//!     }
+//!     other => panic!("unexpected: {other:?}"),
+//! }
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod backend;
+mod breaker;
+mod config;
+mod request;
+mod service;
+
+pub use backend::ServingBackend;
+pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker};
+pub use config::ServeConfig;
+pub use request::{GemmRequest, RequestClass, ServeResult};
+pub use service::{GemmService, ServeHandle, ServeStats, QUEUE_DEPTH_GAUGE};

@@ -1,0 +1,550 @@
+//! The queue + dispatcher: admission control, coalescing, breaker.
+//!
+//! One dispatcher thread owns the [`PipelinedExecutor`], the armed
+//! [`Injector`] (if any), and the [`CircuitBreaker`]; clients only
+//! touch the bounded queue. Each round the dispatcher drains up to
+//! `batch_max` requests, expires the ones whose deadline passed,
+//! coalesces the rest by (shape, quantizer-config) key, and runs each
+//! group as one batched launch — through the FPGA path while the
+//! breaker allows it, straight to the bit-identical `qgemm_parallel`
+//! CPU fallback while it is open. Every response is bit-identical to
+//! eager execution regardless of the route taken; chaos only moves
+//! latency and the `degraded` flag.
+
+use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
+use crate::config::ServeConfig;
+use crate::request::{GemmRequest, RequestClass, ServeResult};
+use mpt_arith::{default_threads, qgemm_parallel, QGemmConfig};
+use mpt_faults::{FaultSite, Injector};
+use mpt_fpga::PipelinedExecutor;
+use mpt_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Telemetry gauge tracking the live admission-queue depth.
+pub const QUEUE_DEPTH_GAUGE: &str = "serve.queue_depth";
+
+/// Floor/ceiling for the backpressure hint.
+const RETRY_AFTER_MIN: Duration = Duration::from_micros(10);
+const RETRY_AFTER_MAX: Duration = Duration::from_millis(50);
+
+/// Jobs crossing the queue: GEMMs, plus control messages from the
+/// trainer client (step boundaries flush the executor's launch queue
+/// so latency accounting never straddles an optimizer update).
+#[derive(Debug)]
+enum Job {
+    // Boxed: a request carries tensors + channel and dwarfs `Flush`.
+    Gemm(Box<GemmRequest>),
+    Flush(mpsc::Sender<()>),
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Cross-thread service statistics (relaxed atomics — monotonic
+/// counters, read for reporting only).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests answered with a result.
+    pub completed: AtomicU64,
+    /// Requests shed by admission control or injected overload.
+    pub rejected: AtomicU64,
+    /// Completed requests that took the CPU fallback.
+    pub degraded: AtomicU64,
+    /// Requests cancelled at their deadline.
+    pub deadline_exceeded: AtomicU64,
+    /// Batched launches issued to the FPGA path.
+    pub batches: AtomicU64,
+    /// GEMMs that rode a coalesced batch of size > 1.
+    pub coalesced: AtomicU64,
+}
+
+impl ServeStats {
+    fn get(&self, c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// (completed, rejected, degraded, deadline_exceeded) snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.get(&self.completed),
+            self.get(&self.rejected),
+            self.get(&self.degraded),
+            self.get(&self.deadline_exceeded),
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<QueueState>,
+    notify: Condvar,
+    cfg: ServeConfig,
+    /// EWMA of per-request service time, nanoseconds (the
+    /// backpressure hint's unit of work).
+    ewma_ns: AtomicU64,
+    stats: ServeStats,
+    /// Breaker transition log, mirrored out of the dispatcher so
+    /// tests can pin the trip/recovery sequence.
+    breaker_log: Mutex<Vec<BreakerTransition>>,
+    breaker_state: Mutex<BreakerState>,
+}
+
+impl Shared {
+    fn retry_after(&self, depth: usize) -> Duration {
+        let ewma = self.ewma_ns.load(Ordering::Relaxed).max(1_000);
+        Duration::from_nanos(ewma.saturating_mul(depth as u64 + 1))
+            .clamp(RETRY_AFTER_MIN, RETRY_AFTER_MAX)
+    }
+
+    fn observe_service_ns(&self, ns: u64) {
+        // EWMA with α = 1/8, integer arithmetic.
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
+        self.ewma_ns.store(new, Ordering::Relaxed);
+    }
+}
+
+/// A cloneable client handle: submit GEMMs, read stats.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("queue_cap", &self.shared.cfg.queue_cap)
+            .finish()
+    }
+}
+
+impl ServeHandle {
+    /// Submits one GEMM. Admission control answers immediately with
+    /// [`ServeResult::Rejected`] when the queue is at capacity;
+    /// otherwise the result arrives on the returned receiver once the
+    /// dispatcher serves the request.
+    pub fn submit(
+        &self,
+        a: Tensor,
+        b: Tensor,
+        cfg: QGemmConfig,
+        class: RequestClass,
+        deadline: Option<Instant>,
+    ) -> mpsc::Receiver<ServeResult> {
+        let (tx, rx) = mpsc::channel();
+        let req = GemmRequest {
+            a,
+            b,
+            cfg,
+            class,
+            deadline,
+            enqueued: Instant::now(),
+            resp: tx,
+        };
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.shutdown {
+            let _ = req.resp.send(ServeResult::Rejected {
+                retry_after: RETRY_AFTER_MIN,
+            });
+            return rx;
+        }
+        let depth = q.jobs.len();
+        if depth >= self.shared.cfg.queue_cap {
+            drop(q);
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            if mpt_telemetry::enabled() {
+                mpt_telemetry::counter("serve.rejected").incr();
+            }
+            let _ = req.resp.send(ServeResult::Rejected {
+                retry_after: self.shared.retry_after(depth),
+            });
+            return rx;
+        }
+        q.jobs.push_back(Job::Gemm(Box::new(req)));
+        if mpt_telemetry::enabled() {
+            mpt_telemetry::gauge(QUEUE_DEPTH_GAUGE).add(1);
+        }
+        drop(q);
+        self.shared.notify.notify_one();
+        rx
+    }
+
+    /// Submits and blocks until the request completes, retrying
+    /// rejections after their hint (jittered by `stream` when the
+    /// service retry policy arms jitter). Deadline expirations are
+    /// surfaced to the caller — only backpressure is retried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mpt_tensor::ShapeError`] for malformed operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shuts down while the request is queued.
+    pub fn call(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        cfg: &QGemmConfig,
+        class: RequestClass,
+        deadline: Option<Instant>,
+        stream: u64,
+    ) -> Result<ServeResult, mpt_tensor::ShapeError> {
+        let mut attempt = 0u32;
+        loop {
+            let rx = self.submit(a.clone(), b.clone(), *cfg, class, deadline);
+            match rx.recv().expect("service alive while clients hold handles") {
+                ServeResult::Rejected { retry_after } => {
+                    // Honor the hint, with the retry policy's jitter
+                    // decorrelating concurrent clients.
+                    let base = self.shared.cfg.retry.delay_jittered(attempt, stream);
+                    std::thread::sleep(retry_after.min(RETRY_AFTER_MAX).max(base));
+                    attempt = attempt.saturating_add(1);
+                }
+                ServeResult::Failed(e) => return Err(e),
+                done => return Ok(done),
+            }
+        }
+    }
+
+    /// Flushes the executor's staged launch queue (a training-step
+    /// boundary) and waits for the drain.
+    pub fn flush(&self) {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.shutdown {
+                return;
+            }
+            q.jobs.push_back(Job::Flush(tx));
+        }
+        self.shared.notify.notify_one();
+        let _ = rx.recv();
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// The breaker's position as of the last dispatcher round.
+    pub fn breaker_state(&self) -> BreakerState {
+        *self.shared.breaker_state.lock().unwrap()
+    }
+
+    /// Breaker transitions so far, in order.
+    pub fn breaker_transitions(&self) -> Vec<BreakerTransition> {
+        self.shared.breaker_log.lock().unwrap().clone()
+    }
+
+    /// Live queue depth (approximate under concurrency).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().jobs.len()
+    }
+}
+
+/// The serving front-end: a bounded queue feeding one dispatcher
+/// thread that owns the pipelined executor.
+///
+/// Dropping the service (or calling [`shutdown`](Self::shutdown))
+/// stops the dispatcher after the queue drains.
+#[derive(Debug)]
+pub struct GemmService {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl GemmService {
+    /// Starts the dispatcher over `executor`, optionally chaos-armed
+    /// with `injector` (moved onto the dispatcher thread — its
+    /// schedule stays deterministic because only that thread draws
+    /// from it).
+    pub fn start(
+        cfg: ServeConfig,
+        executor: PipelinedExecutor,
+        injector: Option<Injector>,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            notify: Condvar::new(),
+            cfg,
+            ewma_ns: AtomicU64::new(0),
+            stats: ServeStats::default(),
+            breaker_log: Mutex::new(Vec::new()),
+            breaker_state: Mutex::new(BreakerState::Closed),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("mpt-serve-dispatch".into())
+            .spawn(move || dispatch_loop(worker_shared, executor, injector))
+            .expect("spawn dispatcher");
+        GemmService {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A client handle (cloneable, sendable across threads).
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Drains the queue and stops the dispatcher.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.notify.notify_all();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GemmService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The dispatcher: drain → expire → coalesce → launch → respond.
+fn dispatch_loop(shared: Arc<Shared>, mut executor: PipelinedExecutor, injector: Option<Injector>) {
+    let mut breaker =
+        CircuitBreaker::new(shared.cfg.breaker_threshold, shared.cfg.breaker_cooldown);
+    // Service-level injection sites draw on their own monotonic
+    // counters so executor launch ids stay 1, 2, 3, … for launches.
+    let mut drains: u64 = 0;
+    let mut deadline_checks: u64 = 0;
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap();
+            while q.jobs.is_empty() && !q.shutdown {
+                q = shared.notify.wait(q).unwrap();
+            }
+            if q.jobs.is_empty() && q.shutdown {
+                return;
+            }
+            let n = q.jobs.len().min(shared.cfg.batch_max);
+            q.jobs.drain(..n).collect::<Vec<_>>()
+        };
+        let mut requests = Vec::new();
+        for job in batch {
+            match job {
+                Job::Gemm(r) => requests.push(*r),
+                Job::Flush(done) => {
+                    // Serve everything drained ahead of the boundary
+                    // first, then drain the clock.
+                    serve_round(
+                        &shared,
+                        &mut executor,
+                        injector.as_ref(),
+                        &mut breaker,
+                        &mut drains,
+                        &mut deadline_checks,
+                        std::mem::take(&mut requests),
+                    );
+                    executor.flush();
+                    let _ = done.send(());
+                }
+            }
+        }
+        serve_round(
+            &shared,
+            &mut executor,
+            injector.as_ref(),
+            &mut breaker,
+            &mut drains,
+            &mut deadline_checks,
+            requests,
+        );
+        let state = breaker.state();
+        *shared.breaker_state.lock().unwrap() = state;
+        *shared.breaker_log.lock().unwrap() = breaker.transitions().to_vec();
+    }
+}
+
+/// Serves one drained batch of GEMM requests.
+#[allow(clippy::too_many_arguments)]
+fn serve_round(
+    shared: &Shared,
+    executor: &mut PipelinedExecutor,
+    injector: Option<&Injector>,
+    breaker: &mut CircuitBreaker,
+    drains: &mut u64,
+    deadline_checks: &mut u64,
+    requests: Vec<GemmRequest>,
+) {
+    if requests.is_empty() {
+        return;
+    }
+    if mpt_telemetry::enabled() {
+        mpt_telemetry::gauge(QUEUE_DEPTH_GAUGE).add(-(requests.len() as i64));
+    }
+    *drains += 1;
+
+    // Injected load spike: the whole drained round is shed with a
+    // retry-after, exactly as if admission control had caught it.
+    if let Some(inj) = injector {
+        if inj.check(FaultSite::QueueOverload, *drains, 0).is_some() {
+            let depth = requests.len();
+            for req in requests {
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                if mpt_telemetry::enabled() {
+                    mpt_telemetry::counter("serve.rejected").incr();
+                }
+                let _ = req.resp.send(ServeResult::Rejected {
+                    retry_after: shared.retry_after(depth),
+                });
+            }
+            return;
+        }
+    }
+
+    // Cooperative deadline cancellation: expire before launching.
+    let now = Instant::now();
+    let mut live: Vec<GemmRequest> = Vec::with_capacity(requests.len());
+    for req in requests {
+        let mut expired = req.deadline.is_some_and(|d| now >= d);
+        if !expired && req.deadline.is_some() {
+            if let Some(inj) = injector {
+                *deadline_checks += 1;
+                // Injected slow-client chaos — only requests that
+                // actually carry a deadline can expire.
+                expired = inj
+                    .check(FaultSite::DeadlineExceeded, *deadline_checks, 0)
+                    .is_some();
+            }
+        }
+        if expired {
+            shared
+                .stats
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            if mpt_telemetry::enabled() {
+                mpt_telemetry::counter("serve.deadline_exceeded").incr();
+            }
+            let _ = req.resp.send(ServeResult::DeadlineExceeded);
+        } else {
+            live.push(req);
+        }
+    }
+
+    // Coalesce same-shape / same-quantizer requests into one batched
+    // launch each.
+    let mut groups: Vec<(String, Vec<GemmRequest>)> = Vec::new();
+    for req in live {
+        let key = req.coalesce_key();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, g)) => g.push(req),
+            None => groups.push((key, vec![req])),
+        }
+    }
+
+    for (_, group) in groups {
+        serve_group(shared, executor, injector, breaker, group);
+    }
+}
+
+/// Runs one coalesced group as a batched launch and responds.
+fn serve_group(
+    shared: &Shared,
+    executor: &mut PipelinedExecutor,
+    injector: Option<&Injector>,
+    breaker: &mut CircuitBreaker,
+    group: Vec<GemmRequest>,
+) {
+    if group.len() > 1 {
+        shared
+            .stats
+            .coalesced
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+        if mpt_telemetry::enabled() {
+            mpt_telemetry::counter("serve.coalesced").add(group.len() as u64);
+        }
+    }
+
+    let outputs: Vec<(Option<Tensor>, bool)> = if breaker.allows_fpga() {
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let items: Vec<(&Tensor, &Tensor, QGemmConfig)> =
+            group.iter().map(|r| (&r.a, &r.b, r.cfg)).collect();
+        let launched = match injector {
+            Some(inj) => executor.execute_batch_resilient(inj, &shared.cfg.retry, &items),
+            None => executor
+                .execute_batch(&items)
+                .map(|outs| outs.into_iter().map(Some).collect()),
+        };
+        match launched {
+            Ok(outs) => outs
+                .into_iter()
+                .map(|o| {
+                    let degraded = o.is_none();
+                    if degraded {
+                        breaker.on_failure();
+                    } else {
+                        breaker.on_success();
+                    }
+                    (o, degraded)
+                })
+                .collect(),
+            Err(e) => {
+                // Shape errors fail the whole group (the key made
+                // shapes uniform, so one bad request is all of them).
+                for req in group {
+                    let _ = req.resp.send(ServeResult::Failed(e.clone()));
+                }
+                return;
+            }
+        }
+    } else {
+        // Breaker open: bypass the FPGA entirely.
+        (0..group.len())
+            .map(|_| {
+                breaker.on_bypass();
+                (None, true)
+            })
+            .collect()
+    };
+
+    for (req, (out, degraded)) in group.into_iter().zip(outputs) {
+        let out = match out {
+            Some(t) => t,
+            // Exhausted or bypassed: the bit-identical CPU path.
+            None => match qgemm_parallel(&req.a, &req.b, &req.cfg, default_threads()) {
+                Ok(t) => t,
+                Err(e) => {
+                    let _ = req.resp.send(ServeResult::Failed(e));
+                    continue;
+                }
+            },
+        };
+        let service_ns = req.enqueued.elapsed().as_nanos() as u64;
+        shared.observe_service_ns(service_ns);
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        if mpt_telemetry::enabled() {
+            mpt_telemetry::counter("serve.completed").incr();
+            if degraded {
+                mpt_telemetry::counter("serve.degraded").incr();
+            }
+            mpt_telemetry::histogram(&format!("serve:latency:{}", req.class.name()))
+                .record(service_ns);
+        }
+        let _ = req.resp.send(ServeResult::Done { out, degraded });
+    }
+}

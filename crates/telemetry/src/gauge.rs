@@ -1,0 +1,108 @@
+//! Point-in-time gauges (e.g. queue depth).
+//!
+//! Counters only ever go up; a [`Gauge`] tracks a level that rises
+//! and falls — the serving front-end's admission-queue depth, an
+//! in-flight request count, a breaker state. One atomic cell, no
+//! sharding: gauges are written from the few places that own the
+//! level they track (an enqueue/dequeue pair, a state machine), not
+//! from every GEMM lane, so contention is negligible. Alongside the
+//! live value the gauge records the high-water mark, which is what
+//! capacity planning actually reads off a run.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A signed level with a high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level outright.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) and returns the new level.
+    pub fn add(&self, delta: i64) -> i64 {
+        let v = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(v, Ordering::Relaxed);
+        v
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever set/reached (zero if never positive).
+    pub fn high_water(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the level and the high-water mark.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One gauge's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Level at capture time.
+    pub value: i64,
+    /// Highest level observed since the last reset.
+    pub high_water: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_level_and_high_water() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.add(3);
+        g.add(2);
+        assert_eq!(g.get(), 5);
+        assert_eq!(g.high_water(), 5);
+        g.add(-4);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 5, "draining must not lower the mark");
+        g.set(2);
+        assert_eq!((g.get(), g.high_water()), (2, 5));
+        g.reset();
+        assert_eq!((g.get(), g.high_water()), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_adds_balance_out() {
+        let g = std::sync::Arc::new(Gauge::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let g = std::sync::Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    g.add(1);
+                    g.add(-1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 0, "paired adds must cancel exactly");
+        assert!(g.high_water() >= 1);
+    }
+}

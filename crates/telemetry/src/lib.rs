@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod counter;
+mod gauge;
 mod histogram;
 pub mod json;
 mod registry;
@@ -65,11 +66,12 @@ pub mod trace;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use counter::{Counter, SHARDS};
+pub use gauge::{Gauge, GaugeSnapshot};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{
-    calibration_records, counter, counter_snapshots, histogram, histogram_snapshots, layer_scope,
-    quant_counters, quant_snapshots, record_calibration, set_layer_scope, CalibrationRecord,
-    QuantCounters, QuantSnapshot, QuantTally,
+    calibration_records, counter, counter_snapshots, gauge, gauge_snapshots, histogram,
+    histogram_snapshots, layer_scope, quant_counters, quant_snapshots, record_calibration,
+    set_layer_scope, CalibrationRecord, QuantCounters, QuantSnapshot, QuantTally,
 };
 pub use span::{record_extern, span, span_snapshots, SpanField, SpanGuard, SpanSnapshot};
 pub use summary::Snapshot;

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::counter::Counter;
+use crate::gauge::{Gauge, GaugeSnapshot};
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::json::{self, Field};
 
@@ -233,6 +234,7 @@ pub struct QuantSnapshot {
 struct Registry {
     quant: RwLock<HashMap<String, &'static QuantCounters>>,
     counters: RwLock<HashMap<String, &'static Counter>>,
+    gauges: RwLock<HashMap<String, &'static Gauge>>,
     histograms: RwLock<HashMap<String, &'static Histogram>>,
     calibration: Mutex<Vec<CalibrationRecord>>,
     /// The currently attributed layer (`<idx>:<kind>`). Process-wide
@@ -247,6 +249,7 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         quant: RwLock::new(HashMap::new()),
         counters: RwLock::new(HashMap::new()),
+        gauges: RwLock::new(HashMap::new()),
         histograms: RwLock::new(HashMap::new()),
         calibration: Mutex::new(Vec::new()),
         layer_scope: RwLock::new(None),
@@ -288,6 +291,36 @@ pub fn counter(name: &str) -> &'static Counter {
     let mut map = reg.counters.write().unwrap();
     map.entry(name.to_string())
         .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// A named level gauge, created on first use. Like counters, the
+/// handle is `'static` so updates after lookup are lock-free.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let reg = registry();
+    if let Some(g) = reg.gauges.read().unwrap().get(name) {
+        return g;
+    }
+    let mut map = reg.gauges.write().unwrap();
+    map.entry(name.to_string())
+        .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
+}
+
+/// Snapshots every gauge that has ever moved (nonzero value or
+/// high-water mark), sorted by name.
+pub fn gauge_snapshots() -> Vec<GaugeSnapshot> {
+    let reg = registry();
+    let map = reg.gauges.read().unwrap();
+    let mut out: Vec<GaugeSnapshot> = map
+        .iter()
+        .map(|(name, g)| GaugeSnapshot {
+            name: name.clone(),
+            value: g.get(),
+            high_water: g.high_water(),
+        })
+        .filter(|s| s.value != 0 || s.high_water != 0)
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
 }
 
 /// A named latency histogram, created on first use. Like counters,
@@ -414,6 +447,9 @@ pub fn reset() {
     for c in reg.counters.read().unwrap().values() {
         c.reset();
     }
+    for g in reg.gauges.read().unwrap().values() {
+        g.reset();
+    }
     for h in reg.histograms.read().unwrap().values() {
         h.reset();
     }
@@ -501,6 +537,20 @@ mod tests {
         assert_eq!(s.sum_ns, 4_000);
         assert_eq!(s.max_ns, 3_000);
         assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn gauge_registry_roundtrip() {
+        let g = gauge("test-registry-gauge");
+        g.add(4);
+        g.add(-1);
+        let snaps = gauge_snapshots();
+        let s = snaps
+            .iter()
+            .find(|s| s.name == "test-registry-gauge")
+            .expect("registered gauge must snapshot");
+        assert_eq!(s.value, 3);
+        assert_eq!(s.high_water, 4);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use std::fmt::Write as _;
 
+use crate::gauge::GaugeSnapshot;
 use crate::histogram::HistogramSnapshot;
 use crate::registry::{
-    calibration_records, counter_snapshots, histogram_snapshots, quant_snapshots,
+    calibration_records, counter_snapshots, gauge_snapshots, histogram_snapshots, quant_snapshots,
     CalibrationRecord, QuantSnapshot,
 };
 use crate::span::{span_snapshots, SpanSnapshot};
@@ -19,6 +20,8 @@ pub struct Snapshot {
     pub spans: Vec<SpanSnapshot>,
     /// Free-standing named counters (nonzero only).
     pub counters: Vec<(String, u64)>,
+    /// Level gauges that ever moved (value + high-water mark).
+    pub gauges: Vec<GaugeSnapshot>,
     /// Latency histogram percentiles (nonempty histograms only).
     pub hist: Vec<HistogramSnapshot>,
     /// Perf-model predicted-vs-measured records.
@@ -41,6 +44,7 @@ impl Snapshot {
             quant: quant_snapshots(),
             spans: span_snapshots(),
             counters: counter_snapshots(),
+            gauges: gauge_snapshots(),
             hist: histogram_snapshots(),
             calibration: calibration_records(),
             dropped_events: crate::sink::dropped_events(),
@@ -160,6 +164,15 @@ impl Snapshot {
             let _ = writeln!(out, "\n-- counters --");
             for (name, v) in &self.counters {
                 let _ = writeln!(out, "{name:<w$} {v:>12}");
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            let w = label_width("gauge", self.gauges.iter().map(|g| g.name.as_str()));
+            let _ = writeln!(out, "\n-- gauges --");
+            let _ = writeln!(out, "{:<w$} {:>12} {:>12}", "gauge", "value", "high_water");
+            for g in &self.gauges {
+                let _ = writeln!(out, "{:<w$} {:>12} {:>12}", g.name, g.value, g.high_water);
             }
         }
 

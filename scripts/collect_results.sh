@@ -58,7 +58,24 @@ else
 fi
 rm -f "$committed"
 
+# Serving gate check: rerun the chaos load test (which hard-asserts
+# zero corrupted responses) and compare its gate fields against the
+# committed BENCH_serving.json at the committed fault seed.
+committed=$(mktemp)
+if git show HEAD:BENCH_serving.json > "$committed" 2>/dev/null; then
+  seed=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['fault_seed'])" "$committed")
+  MPT_FAULT_SEED="$seed" MPT_BENCH_JSON=/tmp/BENCH_serving_measured.json \
+    ./target/release/serve_chaos > /dev/null
+  ./target/release/mpt-report --check-gates "$committed" \
+    /tmp/BENCH_serving_measured.json --tolerance 0.25
+else
+  echo "no committed BENCH_serving.json; skipping serving gate check"
+fi
+rm -f "$committed"
+
 # Profiling report: instrumented pipelined LeNet run -> RESULTS.md.
+# Missing optional inputs only skip their section, so this also works
+# on serving-only runs.
 MPT_TELEMETRY_JSONL=/tmp/mpt_report_run.jsonl \
 MPT_TELEMETRY_TRACE=/tmp/mpt_report_run.trace.json \
   ./target/release/examples/train_lenet_fp8 --backend fpga-pipelined > /dev/null
@@ -66,5 +83,5 @@ MPT_TELEMETRY_TRACE=/tmp/mpt_report_run.trace.json \
   --require-stage-tracks 4
 ./target/release/mpt-report --jsonl /tmp/mpt_report_run.jsonl \
   --trace /tmp/mpt_report_run.trace.json \
-  --bench BENCH_pipeline.json --out RESULTS.md
+  --bench BENCH_pipeline.json --serving BENCH_serving.json --out RESULTS.md
 echo "RESULTS.md updated"
